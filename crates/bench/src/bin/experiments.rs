@@ -1,0 +1,98 @@
+//! Regenerates the paper's evaluation figures.
+//!
+//! ```text
+//! experiments --all [--quick] [--csv]
+//! experiments --fig 22a [--fig 29 ...] [--quick] [--csv]
+//! experiments --list
+//! ```
+//!
+//! Figure ids match the paper (22a, 22b, 23, …, 35) plus the extras
+//! `savings`, `ablation-tpnn`, `ablation-buffer`. `--quick` runs at
+//! ~1/10 scale for smoke tests; EXPERIMENTS.md records full-scale runs.
+
+use lbq_bench::figures::{all_figure_ids, run_all, run_figure};
+use lbq_bench::harness::ExpConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut figs: Vec<String> = Vec::new();
+    let mut quick = false;
+    let mut csv = false;
+    let mut all = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" => all = true,
+            "--quick" => quick = true,
+            "--csv" => csv = true,
+            "--list" => {
+                for id in all_figure_ids() {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--fig" => {
+                i += 1;
+                figs.push(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--fig needs an id"))
+                        .clone(),
+                );
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+    let cfg = if quick { ExpConfig::quick() } else { ExpConfig::paper() };
+    if all {
+        // The shared-sweep path: Figs. 23/26/28 and 30/32/35 reuse one
+        // expensive run per dataset.
+        eprintln!("# lbq experiments — full evaluation (shared sweeps)");
+        let start = std::time::Instant::now();
+        for t in run_all(&cfg) {
+            if csv {
+                println!("# {} — {}", t.id, t.caption);
+                print!("{}", t.to_csv());
+            } else {
+                println!("{t}");
+            }
+        }
+        eprintln!("# all figures done in {:.1?}", start.elapsed());
+        return;
+    }
+    if figs.is_empty() {
+        die("nothing to do: pass --all, --fig <id> or --list");
+    }
+    let known = all_figure_ids();
+    for f in &figs {
+        if !known.contains(&f.as_str()) {
+            die(&format!("unknown figure id {f}; try --list"));
+        }
+    }
+
+    eprintln!(
+        "# lbq experiments — {} figure(s), {} queries per point, scale {}",
+        figs.len(),
+        cfg.queries,
+        cfg.scale
+    );
+    for f in &figs {
+        let start = std::time::Instant::now();
+        let tables = run_figure(f, &cfg);
+        let elapsed = start.elapsed();
+        for t in &tables {
+            if csv {
+                println!("# {} — {}", t.id, t.caption);
+                print!("{}", t.to_csv());
+            } else {
+                println!("{t}");
+            }
+        }
+        eprintln!("# fig {f} done in {elapsed:.1?}");
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,397 @@
+//! Location-based (k-)nearest-neighbor queries — Section 3 of the
+//! paper.
+//!
+//! The server answers a kNN query with the result **plus** an
+//! *influence set*: the minimal set of outer objects whose perpendicular
+//! bisectors with result objects bound the **validity region** — the
+//! (order-k) Voronoi cell within which the result set cannot change.
+//! The client re-uses the result for free while it stays inside.
+//!
+//! The region is computed *without* any precomputed Voronoi structure,
+//! by the vertex-confirmation loop of the paper's Fig. 10 (k = 1) and
+//! Fig. 12 (k > 1): start from the data universe, shoot a
+//! time-parameterized NN query ([`lbq_rtree::RTree::tp_knn`]) toward an
+//! unconfirmed region vertex, and either (a) discover a new influence
+//! object — clip the region by its bisector — or (b) confirm the vertex.
+//! Lemma 3.1 (completeness/soundness) and Lemma 3.2 (exactly
+//! `n_inf + n_v` TPNN queries) carry over verbatim; both are asserted in
+//! the test suite.
+
+use lbq_geom::{ConvexPolygon, HalfPlane, Point, Rect};
+use lbq_rtree::{Item, RTree};
+
+/// An influence pair `⟨inner, outer⟩`: the bisector of the two is an
+/// edge (or potential edge) of the validity region; `inner` belongs to
+/// the result, `outer` does not.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InfluencePair {
+    pub inner: Item,
+    pub outer: Item,
+}
+
+impl InfluencePair {
+    /// The half-plane this pair contributes (the `inner` side of the
+    /// bisector).
+    pub fn half_plane(&self) -> HalfPlane {
+        HalfPlane::bisector(self.inner.point, self.outer.point)
+    }
+}
+
+/// The validity region of a kNN query: the order-k Voronoi cell of the
+/// result, as both its polygon and the influence pairs that generate it.
+///
+/// The *wire format* is `pairs` (plus the result set itself) — a handful
+/// of points, as the paper's Figs. 25/26 show (≈6 for k = 1, dropping
+/// toward 4 as k grows). The polygon is kept for convenience and
+/// plotting; it is derivable from the pairs.
+#[derive(Debug, Clone)]
+pub struct NnValidity {
+    /// Influence pairs in discovery order.
+    pub pairs: Vec<InfluencePair>,
+    /// The region polygon (clipped to the data universe).
+    pub polygon: ConvexPolygon,
+    /// The data universe used as the initial region.
+    pub universe: Rect,
+}
+
+impl NnValidity {
+    /// Client-side validity check: is the result still exact at `p`?
+    ///
+    /// O(|pairs| + 4) comparisons — the "limited computational
+    /// capability" budget the paper allots the mobile client. Uses the
+    /// half-plane tests directly (not the polygon) because that is what
+    /// a client holding only the influence set can do.
+    pub fn contains(&self, p: Point) -> bool {
+        self.universe.contains(p)
+            && self
+                .pairs
+                .iter()
+                .all(|pr| p.dist_sq(pr.inner.point) <= p.dist_sq(pr.outer.point))
+    }
+
+    /// Area of the validity region.
+    pub fn area(&self) -> f64 {
+        self.polygon.area()
+    }
+
+    /// Number of region edges (the client-side check cost metric of the
+    /// paper's Fig. 24; ≈6 on uniform data).
+    pub fn edge_count(&self) -> usize {
+        self.polygon.len()
+    }
+
+    /// Number of *distinct* influence objects |S_inf| (Figs. 25/26; an
+    /// outer object may contribute several pairs when k > 1).
+    pub fn influence_count(&self) -> usize {
+        let mut ids: Vec<u64> = self.pairs.iter().map(|p| p.outer.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// The distinct influence objects (the payload actually shipped).
+    pub fn influence_objects(&self) -> Vec<Item> {
+        let mut out: Vec<Item> = Vec::new();
+        for p in &self.pairs {
+            if !out.iter().any(|o| o.id == p.outer.id) {
+                out.push(p.outer);
+            }
+        }
+        out
+    }
+}
+
+/// Server response to a location-based kNN query.
+#[derive(Debug, Clone)]
+pub struct NnResponse {
+    /// The query focus.
+    pub query: Point,
+    /// The k nearest neighbors, ascending by distance.
+    pub result: Vec<Item>,
+    /// Validity region + influence set.
+    pub validity: NnValidity,
+    /// Instrumentation: TPNN queries issued (Lemma 3.2: `n_inf + n_v`).
+    pub tpnn_queries: usize,
+}
+
+/// Tolerance for vertex identity across clips, relative to the universe
+/// scale.
+fn vertex_eps(universe: &Rect) -> f64 {
+    1e-9 * universe.width().max(universe.height()).max(1.0)
+}
+
+/// Computes the influence set and validity region for a kNN result
+/// (`inner`, non-empty) of the query at `q` — Figs. 10/12 of the paper.
+///
+/// Returns the validity structure plus the number of TPNN queries
+/// issued.
+pub fn retrieve_influence_set(
+    tree: &RTree,
+    q: Point,
+    inner: &[Item],
+    universe: Rect,
+) -> (NnValidity, usize) {
+    assert!(!inner.is_empty(), "kNN result must be non-empty");
+    // When the dataset is exactly the result set, nothing can ever
+    // change: the region is the whole universe.
+    if tree.len() <= inner.len() {
+        return (
+            NnValidity {
+                pairs: Vec::new(),
+                polygon: ConvexPolygon::from_rect(&universe),
+                universe,
+            },
+            0,
+        );
+    }
+    let eps = vertex_eps(&universe);
+    let mut pairs: Vec<InfluencePair> = Vec::new();
+    let mut polygon = ConvexPolygon::from_rect(&universe);
+    // Vertex set V with confirmation flags.
+    let mut vertices: Vec<(Point, bool)> =
+        polygon.vertices().iter().map(|&v| (v, false)).collect();
+    let mut tpnn_count = 0usize;
+
+    while let Some(idx) = vertices.iter().position(|(_, confirmed)| !confirmed) {
+        let v = vertices[idx].0;
+        let Some(dir) = q.to(v).normalized() else {
+            // The vertex coincides with the query point (degenerate,
+            // zero-area region) — nothing to probe.
+            vertices[idx].1 = true;
+            continue;
+        };
+        let t_max = q.dist(v);
+        tpnn_count += 1;
+        let event = tree.tp_knn(q, dir, t_max, inner);
+        match event {
+            None => {
+                vertices[idx].1 = true;
+            }
+            Some(ev) => {
+                let known = pairs
+                    .iter()
+                    .any(|p| p.inner.id == ev.partner.id && p.outer.id == ev.object.id);
+                if known {
+                    // Lemma 3.1 bookkeeping: a re-discovered pair means
+                    // the vertex lies (numerically) on that bisector.
+                    vertices[idx].1 = true;
+                } else {
+                    let pair = InfluencePair { inner: ev.partner, outer: ev.object };
+                    let clipped = polygon.clip(&pair.half_plane());
+                    pairs.push(pair);
+                    if clipped.is_empty() {
+                        // Degenerate: q sits on a bisector (tie). The
+                        // region has zero area; report it honestly.
+                        polygon = clipped;
+                        vertices.clear();
+                        break;
+                    }
+                    // Carry confirmation flags to surviving vertices.
+                    let old = std::mem::take(&mut vertices);
+                    vertices = clipped
+                        .vertices()
+                        .iter()
+                        .map(|&nv| {
+                            let confirmed = old
+                                .iter()
+                                .any(|(ov, c)| *c && ov.dist(nv) <= eps);
+                            (nv, confirmed)
+                        })
+                        .collect();
+                    polygon = clipped;
+                }
+            }
+        }
+    }
+    (
+        NnValidity { pairs, polygon, universe },
+        tpnn_count,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbq_rtree::RTreeConfig;
+
+    fn pseudo_random_items(n: usize, seed: u64) -> Vec<Item> {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        (0..n)
+            .map(|i| Item::new(Point::new(next(), next()), i as u64))
+            .collect()
+    }
+
+    fn unit() -> Rect {
+        Rect::new(0.0, 0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn five_point_cross_region_is_voronoi_cell() {
+        // The canonical fixture: center point's cell is the middle
+        // square (2.5,2.5)-(7.5,7.5) of the [0,10]² universe.
+        let universe = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let items = vec![
+            Item::new(Point::new(5.0, 5.0), 0),
+            Item::new(Point::new(0.0, 5.0), 1),
+            Item::new(Point::new(10.0, 5.0), 2),
+            Item::new(Point::new(5.0, 0.0), 3),
+            Item::new(Point::new(5.0, 10.0), 4),
+        ];
+        let tree = RTree::bulk_load(items, RTreeConfig::tiny());
+        let q = Point::new(5.2, 4.9);
+        let inner: Vec<Item> = tree.knn(q, 1).into_iter().map(|(i, _)| i).collect();
+        assert_eq!(inner[0].id, 0);
+        let (validity, tpnn) = retrieve_influence_set(&tree, q, &inner, universe);
+        assert!((validity.area() - 25.0).abs() < 1e-6, "area {}", validity.area());
+        assert_eq!(validity.influence_count(), 4);
+        assert_eq!(validity.edge_count(), 4);
+        // Lemma 3.2: n_inf + n_v TPNN queries.
+        assert_eq!(tpnn, 4 + 4);
+        // The query itself is inside; the neighbors' positions are not.
+        assert!(validity.contains(q));
+        assert!(!validity.contains(Point::new(9.0, 9.0)));
+    }
+
+    #[test]
+    fn region_matches_brute_force_voronoi_cell() {
+        let items = pseudo_random_items(150, 17);
+        let tree = RTree::bulk_load(items.clone(), RTreeConfig::tiny());
+        for &(qx, qy) in &[(0.5, 0.5), (0.12, 0.83), (0.95, 0.07)] {
+            let q = Point::new(qx, qy);
+            let inner: Vec<Item> = tree.knn(q, 1).into_iter().map(|(i, _)| i).collect();
+            let (validity, _) = retrieve_influence_set(&tree, q, &inner, unit());
+            // Brute-force Voronoi cell of the NN.
+            let o = inner[0].point;
+            let mut cell = ConvexPolygon::from_rect(&unit());
+            for it in &items {
+                if it.id != inner[0].id {
+                    cell = cell.clip(&HalfPlane::bisector(o, it.point));
+                }
+            }
+            assert!(
+                (validity.area() - cell.area()).abs() < 1e-9,
+                "q=({qx},{qy}): got {} want {}",
+                validity.area(),
+                cell.area()
+            );
+        }
+    }
+
+    #[test]
+    fn knn_region_sound_by_sampling() {
+        let items = pseudo_random_items(200, 5);
+        let tree = RTree::bulk_load(items.clone(), RTreeConfig::tiny());
+        let q = Point::new(0.4, 0.6);
+        for k in [1usize, 3, 7] {
+            let inner: Vec<Item> = tree.knn(q, k).into_iter().map(|(i, _)| i).collect();
+            let inner_ids: std::collections::BTreeSet<u64> =
+                inner.iter().map(|i| i.id).collect();
+            let (validity, _) = retrieve_influence_set(&tree, q, &inner, unit());
+            assert!(validity.contains(q), "k={k}: query inside its own region");
+            // Sample a grid: inside region ⇒ same kNN set; outside (but
+            // well clear of the boundary) ⇒ different set.
+            for i in 0..25 {
+                for j in 0..25 {
+                    let p = Point::new(i as f64 / 25.0 + 0.017, j as f64 / 25.0 + 0.013);
+                    let set: std::collections::BTreeSet<u64> =
+                        tree.knn(p, k).into_iter().map(|(it, _)| it.id).collect();
+                    let same = set == inner_ids;
+                    if validity.contains(p) {
+                        assert!(same, "k={k}: {p} inside region but kNN differs");
+                    } else if validity.polygon.contains_eps(p, -1e-6) {
+                        // Skip points hugging the boundary.
+                    } else {
+                        // Outside the region the set must differ...
+                        // unless the region was truncated by the
+                        // universe (kNN sets remain valid outside the
+                        // data universe too). Only check interior
+                        // points whose exclusion came from a bisector.
+                        let excluded_by_pair = validity
+                            .pairs
+                            .iter()
+                            .any(|pr| p.dist_sq(pr.inner.point) > p.dist_sq(pr.outer.point) + 1e-9);
+                        if excluded_by_pair {
+                            assert!(!same, "k={k}: {p} outside region but kNN identical");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn influence_set_is_minimal() {
+        // Dropping any influence pair must strictly grow the region.
+        let items = pseudo_random_items(120, 23);
+        let tree = RTree::bulk_load(items, RTreeConfig::tiny());
+        let q = Point::new(0.55, 0.45);
+        for k in [1usize, 4] {
+            let inner: Vec<Item> = tree.knn(q, k).into_iter().map(|(i, _)| i).collect();
+            let (validity, _) = retrieve_influence_set(&tree, q, &inner, unit());
+            let full_area = validity.area();
+            assert!(full_area > 0.0);
+            for skip in 0..validity.pairs.len() {
+                let poly = ConvexPolygon::from_rect(&unit()).clip_all(
+                    validity
+                        .pairs
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != skip)
+                        .map(|(_, p)| p.half_plane())
+                        .collect::<Vec<_>>()
+                        .iter(),
+                );
+                assert!(
+                    poly.area() > full_area + 1e-12,
+                    "k={k}: pair {skip} is redundant"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_3_2_query_count() {
+        // TPNN queries = n_inf(pairs) + n_vertices for k = 1 (each pair
+        // is a distinct discovery; vertices of the final region each
+        // consume one confirming query).
+        let items = pseudo_random_items(300, 77);
+        let tree = RTree::bulk_load(items, RTreeConfig::tiny());
+        for &(qx, qy) in &[(0.3, 0.3), (0.7, 0.2), (0.5, 0.9)] {
+            let q = Point::new(qx, qy);
+            let inner: Vec<Item> = tree.knn(q, 1).into_iter().map(|(i, _)| i).collect();
+            let (validity, tpnn) = retrieve_influence_set(&tree, q, &inner, unit());
+            assert_eq!(
+                tpnn,
+                validity.pairs.len() + validity.edge_count(),
+                "at ({qx},{qy})"
+            );
+        }
+    }
+
+    #[test]
+    fn whole_dataset_in_result_means_universe_region() {
+        let items = pseudo_random_items(5, 3);
+        let tree = RTree::bulk_load(items.clone(), RTreeConfig::tiny());
+        let q = Point::new(0.5, 0.5);
+        let inner: Vec<Item> = tree.knn(q, 5).into_iter().map(|(i, _)| i).collect();
+        let (validity, tpnn) = retrieve_influence_set(&tree, q, &inner, unit());
+        assert_eq!(tpnn, 0);
+        assert!((validity.area() - 1.0).abs() < 1e-12);
+        assert!(validity.contains(Point::new(0.01, 0.99)));
+    }
+
+    #[test]
+    fn single_point_dataset() {
+        let items = vec![Item::new(Point::new(0.2, 0.8), 0)];
+        let tree = RTree::bulk_load(items, RTreeConfig::tiny());
+        let q = Point::new(0.9, 0.1);
+        let inner: Vec<Item> = tree.knn(q, 1).into_iter().map(|(i, _)| i).collect();
+        let (validity, _) = retrieve_influence_set(&tree, q, &inner, unit());
+        assert!((validity.area() - 1.0).abs() < 1e-12);
+        assert!(validity.pairs.is_empty());
+    }
+}

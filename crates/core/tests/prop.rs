@@ -1,0 +1,159 @@
+//! Property tests for the paper's central soundness claims:
+//!
+//! * anywhere inside a kNN validity region, the kNN result set is
+//!   byte-identical to the one computed at the query point (the region
+//!   is the order-k Voronoi cell — Observation, §3.1);
+//! * anywhere inside a window validity region, the window result is
+//!   identical; the conservative rectangle is contained in the exact
+//!   region;
+//! * for k = 1 the region *equals* the Voronoi cell of the nearest
+//!   neighbor (checked against the independent Delaunay-based
+//!   construction in `lbq-voronoi`).
+
+use lbq_core::{retrieve_influence_set, window_with_validity};
+use lbq_geom::{Point, Rect};
+use lbq_rtree::{Item, RTree, RTreeConfig};
+use lbq_voronoi::VoronoiDiagram;
+use proptest::prelude::*;
+
+fn items_strategy(min: usize, max: usize) -> impl Strategy<Value = Vec<Item>> {
+    proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64), min..max).prop_map(|pts| {
+        pts.into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| Item::new(Point::new(x, y), i as u64))
+            .collect()
+    })
+}
+
+fn unit() -> Rect {
+    Rect::new(0.0, 0.0, 1.0, 1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn nn_region_equals_voronoi_cell(
+        items in items_strategy(3, 60),
+        qx in 0.0..1.0f64,
+        qy in 0.0..1.0f64,
+    ) {
+        let tree = RTree::bulk_load(items.clone(), RTreeConfig::tiny());
+        let q = Point::new(qx, qy);
+        let inner: Vec<Item> = tree.knn(q, 1).into_iter().map(|(i, _)| i).collect();
+        let (validity, _) = retrieve_influence_set(&tree, q, &inner, unit());
+
+        // Independent ground truth: Delaunay-dual Voronoi cell.
+        let sites: Vec<Point> = items.iter().map(|i| i.point).collect();
+        let vd = VoronoiDiagram::build(&sites, unit());
+        let cell = vd.cell(inner[0].id as usize);
+        prop_assert!(
+            (validity.area() - cell.area()).abs() <= 1e-7 * cell.area().max(1e-12),
+            "region {} vs voronoi cell {}", validity.area(), cell.area()
+        );
+    }
+
+    #[test]
+    fn knn_region_is_sound(
+        items in items_strategy(8, 120),
+        qx in 0.0..1.0f64,
+        qy in 0.0..1.0f64,
+        k in 1usize..6,
+        probes in proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64), 30),
+    ) {
+        prop_assume!(items.len() > k);
+        let tree = RTree::bulk_load(items.clone(), RTreeConfig::tiny());
+        let q = Point::new(qx, qy);
+        let inner: Vec<Item> = tree.knn(q, k).into_iter().map(|(i, _)| i).collect();
+        let inner_ids: std::collections::BTreeSet<u64> = inner.iter().map(|i| i.id).collect();
+        let (validity, _) = retrieve_influence_set(&tree, q, &inner, unit());
+        prop_assert!(validity.contains(q) || validity.area() == 0.0);
+        for (px, py) in probes {
+            let p = Point::new(px, py);
+            if validity.contains(p) {
+                let set: std::collections::BTreeSet<u64> =
+                    tree.knn(p, k).into_iter().map(|(i, _)| i.id).collect();
+                prop_assert_eq!(&set, &inner_ids, "at {} (q={})", p, q);
+            }
+        }
+    }
+
+    #[test]
+    fn window_region_is_sound_and_conservative_nested(
+        items in items_strategy(5, 150),
+        qx in 0.1..0.9f64,
+        qy in 0.1..0.9f64,
+        hx in 0.01..0.15f64,
+        hy in 0.01..0.15f64,
+        probes in proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64), 30),
+    ) {
+        let tree = RTree::bulk_load(items.clone(), RTreeConfig::tiny());
+        let c = Point::new(qx, qy);
+        let resp = window_with_validity(&tree, c, hx, hy, unit());
+        let baseline: std::collections::BTreeSet<u64> =
+            resp.result.iter().map(|i| i.id).collect();
+        prop_assert!(resp.validity.contains(c));
+        for (px, py) in probes {
+            let p = Point::new(px, py);
+            if resp.validity.contains_conservative(p) {
+                prop_assert!(resp.validity.contains(p), "conservative ⊄ exact at {}", p);
+            }
+            if resp.validity.contains(p) {
+                let w = Rect::centered(p, hx, hy);
+                let set: std::collections::BTreeSet<u64> = items
+                    .iter()
+                    .filter(|i| w.contains(i.point))
+                    .map(|i| i.id)
+                    .collect();
+                prop_assert_eq!(&set, &baseline, "at {} (c={})", p, c);
+            }
+        }
+        // Area consistency: conservative ≤ exact ≤ inner rect.
+        let exact = resp.validity.area();
+        prop_assert!(resp.validity.conservative.area() <= exact + 1e-9);
+        prop_assert!(exact <= resp.validity.inner_rect.area() + 1e-9);
+    }
+
+    #[test]
+    fn influence_pairs_are_necessary(
+        items in items_strategy(5, 50),
+        qx in 0.0..1.0f64,
+        qy in 0.0..1.0f64,
+    ) {
+        // Each influence pair's half-plane must cut the region built
+        // from the remaining pairs (minimality, Lemma 3.1 part ii).
+        let tree = RTree::bulk_load(items, RTreeConfig::tiny());
+        let q = Point::new(qx, qy);
+        let inner: Vec<Item> = tree.knn(q, 1).into_iter().map(|(i, _)| i).collect();
+        let (validity, _) = retrieve_influence_set(&tree, q, &inner, unit());
+        prop_assume!(validity.area() > 1e-12);
+        let planes: Vec<_> = validity.pairs.iter().map(|p| p.half_plane()).collect();
+        for skip in 0..planes.len() {
+            let rest: Vec<_> = planes
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, h)| *h)
+                .collect();
+            let poly = lbq_geom::ConvexPolygon::from_rect(&unit()).clip_all(rest.iter());
+            // Removing a constraint can only grow the region.
+            prop_assert!(
+                poly.area() > validity.area() - 1e-12,
+                "pair {} did not constrain the region", skip
+            );
+            // "No false hits" (Lemma 3.1 ii): every pair's bisector
+            // touches the region boundary — it contributes an edge,
+            // possibly a degenerate one through a vertex.
+            let touch = validity
+                .polygon
+                .vertices()
+                .iter()
+                .map(|&v| planes[skip].signed_dist(v).abs())
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(
+                touch <= 1e-7,
+                "pair {}'s bisector is {} away from the region", skip, touch
+            );
+        }
+    }
+}

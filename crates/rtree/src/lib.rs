@@ -1,0 +1,138 @@
+//! # lbq-rtree — a disk-model R\*-tree for point data
+//!
+//! The index substrate of the `lbq` workspace (reproduction of
+//! *"Location-based Spatial Queries"*, SIGMOD 2003). The paper's server
+//! stores static point datasets in an R\*-tree `[BKSS90]` with 4 KiB pages
+//! (node capacity 204) and measures query cost in **node accesses** (NA)
+//! and, through an LRU buffer sized at 10% of the tree, **page accesses**
+//! (PA, i.e. buffer faults). This crate reproduces that disk model:
+//! the tree lives in memory, but every node visit is metered as if it
+//! were a page read.
+//!
+//! ## What is implemented
+//!
+//! * **R\*-tree construction**: one-by-one insertion with ChooseSubtree,
+//!   forced reinsertion and the R\* split (margin-driven axis choice,
+//!   overlap-driven distribution choice), plus **STR bulk loading** for
+//!   building the large experiment trees quickly ([`RTree::bulk_load`]).
+//! * **Deletion** with under-full node condensing and re-insertion.
+//! * **Window queries** ([`RTree::window`]) — the classic recursive
+//!   MBR-intersection descent.
+//! * **k-nearest-neighbor search**, both the depth-first branch-and-bound
+//!   of Roussopoulos et al. `[RKV95]` ([`RTree::knn_depth_first`]) and the
+//!   optimal best-first traversal of Hjaltason & Samet `[HS99]`
+//!   ([`RTree::knn`]).
+//! * **Time-parameterized NN queries** `[TP02]` ([`RTree::tp_knn`]): given
+//!   a query point moving along a ray and its current (k-)NN result, find
+//!   the object with the minimum *influence time* — the moment the result
+//!   first changes. This is the workhorse of the paper's validity-region
+//!   construction (its Section 3).
+//!
+//! ## Metering
+//!
+//! All read queries take `&self`; counters use interior mutability.
+//! [`RTree::take_stats`] snapshots-and-resets the counters so a harness
+//! can attribute cost to phases (e.g. "the initial NN query" vs "the
+//! TPNN queries", as in the paper's Fig. 27).
+
+mod browse;
+mod bulk;
+mod insert;
+mod nn;
+mod node;
+mod query;
+mod stats;
+mod tp;
+mod tpwin;
+mod tree;
+mod util;
+
+pub use node::{Item, NodeId};
+pub use stats::{LruBuffer, Stats};
+pub use browse::NearestIter;
+pub use tp::{TpBound, TpEvent};
+pub use tpwin::{TpWindowChange, TpWindowEvent};
+pub use tree::RTree;
+pub use util::OrdF64;
+
+/// Structural parameters of the tree.
+///
+/// The defaults mirror the paper's setup: 4 KiB pages and 20-byte entries
+/// give a fan-out of 204; the R\* recommendations set the minimum fill to
+/// 40% of capacity and forced reinsertion to 30%.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RTreeConfig {
+    /// Maximum entries per node (page capacity).
+    pub max_entries: usize,
+    /// Minimum entries per non-root node.
+    pub min_entries: usize,
+    /// Entries removed on the first overflow of a level (forced
+    /// reinsertion, R\* "p" parameter). Zero disables reinsertion.
+    pub reinsert_count: usize,
+}
+
+impl RTreeConfig {
+    /// Capacity derived from a page size and per-entry byte cost.
+    ///
+    /// The paper uses 4096-byte pages and point entries of 20 bytes
+    /// (two 8-byte coordinates + 4-byte record pointer), giving 204.
+    pub fn from_page_size(page_bytes: usize, entry_bytes: usize) -> Self {
+        let cap = (page_bytes / entry_bytes).max(4);
+        Self::with_capacity(cap)
+    }
+
+    /// The exact configuration of the paper's experiments
+    /// (page 4 KiB → 204 entries/node).
+    pub fn paper() -> Self {
+        Self::from_page_size(4096, 20)
+    }
+
+    /// Capacity-first constructor with R\* fill factors.
+    pub fn with_capacity(max_entries: usize) -> Self {
+        assert!(max_entries >= 4, "R-tree capacity must be at least 4");
+        RTreeConfig {
+            max_entries,
+            min_entries: (max_entries * 2 / 5).max(2), // 40 %
+            reinsert_count: (max_entries * 3 / 10).max(1), // 30 %
+        }
+    }
+
+    /// A tiny fan-out (8) used by tests to force deep trees on small
+    /// inputs.
+    pub fn tiny() -> Self {
+        Self::with_capacity(8)
+    }
+}
+
+impl Default for RTreeConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_sigmod_setup() {
+        let c = RTreeConfig::paper();
+        assert_eq!(c.max_entries, 204);
+        assert_eq!(c.min_entries, 81);
+        assert_eq!(c.reinsert_count, 61);
+    }
+
+    #[test]
+    fn capacity_floor() {
+        let c = RTreeConfig::from_page_size(16, 20);
+        assert_eq!(c.max_entries, 4);
+        assert!(c.min_entries >= 2);
+        assert!(c.min_entries <= c.max_entries / 2 + 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_degenerate_capacity() {
+        let _ = RTreeConfig::with_capacity(3);
+    }
+}

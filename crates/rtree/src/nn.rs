@@ -1,0 +1,292 @@
+//! k-nearest-neighbor search.
+//!
+//! Two algorithms, as surveyed in the paper's Section 1:
+//!
+//! * [`RTree::knn_depth_first`] — the branch-and-bound of Roussopoulos,
+//!   Kelley and Vincent `[RKV95]`: depth-first descent visiting entries in
+//!   `mindist` order, pruning entries whose `mindist` exceeds the current
+//!   k-th best distance.
+//! * [`RTree::knn`] — the best-first (incremental) traversal of
+//!   Hjaltason and Samet `[HS99]`, which is I/O-optimal: it visits exactly
+//!   the nodes whose MBR intersects the final k-NN disk.
+//!
+//! Both are exposed because Fig. 27/28 of the paper measure the NN query
+//! cost explicitly, and the difference between the two is itself a
+//! classic result worth benchmarking (see `lbq-bench`).
+
+use crate::node::{Item, NodeId};
+use crate::tree::RTree;
+use crate::util::OrdF64;
+use lbq_geom::Point;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A result candidate ordered by distance (max-heap on distance).
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    dist_sq: f64,
+    item: Item,
+}
+
+impl RTree {
+    /// Best-first k-NN `[HS99]`. Returns up to `k` items sorted by
+    /// ascending distance from `q`, with their (exact) distances.
+    pub fn knn(&self, q: Point, k: usize) -> Vec<(Item, f64)> {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        // Min-heap of (mindist², node).
+        let mut queue: BinaryHeap<Reverse<(OrdF64, NodeId)>> = BinaryHeap::new();
+        // Max-heap of the best k items found so far.
+        let mut best: BinaryHeap<(OrdF64, u64)> = BinaryHeap::new();
+        let mut best_items: std::collections::HashMap<u64, Candidate> =
+            std::collections::HashMap::new();
+        queue.push(Reverse((OrdF64::new(0.0), self.root)));
+
+        let worst = |best: &BinaryHeap<(OrdF64, u64)>| -> f64 {
+            best.peek().map_or(f64::INFINITY, |(d, _)| d.0)
+        };
+
+        while let Some(Reverse((OrdF64(lb), node_id))) = queue.pop() {
+            if best.len() == k && lb >= worst(&best) {
+                break; // no unexplored node can improve the result
+            }
+            self.access(node_id);
+            let node = self.node(node_id);
+            if node.is_leaf() {
+                for e in &node.entries {
+                    let item = e.item();
+                    let d = q.dist_sq(item.point);
+                    if best.len() < k {
+                        best.push((OrdF64::new(d), item.id));
+                        best_items.insert(item.id, Candidate { dist_sq: d, item });
+                    } else if d < worst(&best) {
+                        if let Some((_, evicted)) = best.pop() {
+                            best_items.remove(&evicted);
+                        }
+                        best.push((OrdF64::new(d), item.id));
+                        best_items.insert(item.id, Candidate { dist_sq: d, item });
+                    }
+                }
+            } else {
+                for e in &node.entries {
+                    let lb = e.mbr().mindist_sq(q);
+                    if best.len() < k || lb < worst(&best) {
+                        queue.push(Reverse((OrdF64::new(lb), e.child())));
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(Item, f64)> = best_items
+            .into_values()
+            .map(|c| (c.item, c.dist_sq.sqrt()))
+            .collect();
+        out.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("finite distances")
+                .then(a.0.id.cmp(&b.0.id))
+        });
+        out
+    }
+
+    /// Depth-first branch-and-bound k-NN `[RKV95]`. Same result contract
+    /// as [`RTree::knn`]; typically touches a few more nodes (it commits
+    /// to a subtree before knowing if a sibling is closer).
+    pub fn knn_depth_first(&self, q: Point, k: usize) -> Vec<(Item, f64)> {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let mut best: BinaryHeap<(OrdF64, u64)> = BinaryHeap::new();
+        let mut items: std::collections::HashMap<u64, Item> =
+            std::collections::HashMap::new();
+        self.df_visit(self.root, q, k, &mut best, &mut items);
+        let mut out: Vec<(Item, f64)> = best
+            .into_sorted_vec()
+            .into_iter()
+            .map(|(d, id)| (items[&id], d.0.sqrt()))
+            .collect();
+        out.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("finite distances")
+                .then(a.0.id.cmp(&b.0.id))
+        });
+        out
+    }
+
+    fn df_visit(
+        &self,
+        node_id: NodeId,
+        q: Point,
+        k: usize,
+        best: &mut BinaryHeap<(OrdF64, u64)>,
+        items: &mut std::collections::HashMap<u64, Item>,
+    ) {
+        self.access(node_id);
+        let node = self.node(node_id);
+        let worst = |best: &BinaryHeap<(OrdF64, u64)>| -> f64 {
+            if best.len() < k {
+                f64::INFINITY
+            } else {
+                best.peek().map_or(f64::INFINITY, |(d, _)| d.0)
+            }
+        };
+        if node.is_leaf() {
+            for e in &node.entries {
+                let item = e.item();
+                let d = q.dist_sq(item.point);
+                if d < worst(best) || best.len() < k {
+                    if best.len() == k {
+                        if let Some((_, evicted)) = best.pop() {
+                            items.remove(&evicted);
+                        }
+                    }
+                    best.push((OrdF64::new(d), item.id));
+                    items.insert(item.id, item);
+                }
+            }
+            return;
+        }
+        // Visit children in mindist order (the RKV95 ordering heuristic),
+        // pruning against the evolving k-th best.
+        let mut order: Vec<(f64, NodeId)> = node
+            .entries
+            .iter()
+            .map(|e| (e.mbr().mindist_sq(q), e.child()))
+            .collect();
+        order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        for (lb, child) in order {
+            if lb >= worst(best) && best.len() == k {
+                break; // list is sorted: nothing further qualifies
+            }
+            self.df_visit(child, q, k, best, items);
+        }
+    }
+
+    /// The single nearest neighbor, `None` on an empty tree.
+    pub fn nn(&self, q: Point) -> Option<(Item, f64)> {
+        self.knn(q, 1).into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RTreeConfig};
+    use lbq_geom::Point;
+
+    fn build(n: usize, seed: u64) -> (RTree, Vec<Item>) {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let items: Vec<Item> = (0..n)
+            .map(|i| {
+                let x = (next() >> 11) as f64 / (1u64 << 53) as f64 * 10.0;
+                let y = (next() >> 11) as f64 / (1u64 << 53) as f64 * 10.0;
+                Item::new(Point::new(x, y), i as u64)
+            })
+            .collect();
+        (RTree::bulk_load(items.clone(), RTreeConfig::tiny()), items)
+    }
+
+    fn brute_knn(items: &[Item], q: Point, k: usize) -> Vec<u64> {
+        let mut v: Vec<(f64, u64)> = items
+            .iter()
+            .map(|i| (q.dist_sq(i.point), i.id))
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.into_iter().take(k).map(|(_, id)| id).collect()
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let (tree, items) = build(600, 21);
+        let queries = [
+            Point::new(5.0, 5.0),
+            Point::new(0.0, 0.0),
+            Point::new(-3.0, 12.0), // outside the data MBR
+            Point::new(9.99, 0.01),
+        ];
+        for &q in &queries {
+            for k in [1usize, 2, 5, 17, 100] {
+                let got: Vec<u64> = tree.knn(q, k).into_iter().map(|(i, _)| i.id).collect();
+                let want = brute_knn(&items, q, k);
+                assert_eq!(got, want, "best-first q={q} k={k}");
+                let got_df: Vec<u64> = tree
+                    .knn_depth_first(q, k)
+                    .into_iter()
+                    .map(|(i, _)| i.id)
+                    .collect();
+                assert_eq!(got_df, want, "depth-first q={q} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn distances_are_sorted_and_correct() {
+        let (tree, _) = build(300, 5);
+        let q = Point::new(3.0, 7.0);
+        let res = tree.knn(q, 10);
+        assert_eq!(res.len(), 10);
+        for w in res.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        for (item, d) in res {
+            assert!((q.dist(item.point) - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_dataset() {
+        let (tree, items) = build(25, 9);
+        let res = tree.knn(Point::new(1.0, 1.0), 100);
+        assert_eq!(res.len(), items.len());
+    }
+
+    #[test]
+    fn k_zero_and_empty_tree() {
+        let (tree, _) = build(50, 1);
+        assert!(tree.knn(Point::new(0.0, 0.0), 0).is_empty());
+        let empty = RTree::new(RTreeConfig::tiny());
+        assert!(empty.knn(Point::new(0.0, 0.0), 3).is_empty());
+        assert!(empty.nn(Point::new(0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn best_first_never_costs_more_than_depth_first() {
+        // [HS99] optimality relative to [RKV95], in node accesses.
+        let (tree, _) = build(2000, 77);
+        let mut bf_total = 0;
+        let mut df_total = 0;
+        for i in 0..50 {
+            let q = Point::new((i % 10) as f64, (i / 5) as f64 * 0.9);
+            tree.take_stats();
+            let _ = tree.knn(q, 5);
+            bf_total += tree.take_stats().node_accesses;
+            let _ = tree.knn_depth_first(q, 5);
+            df_total += tree.take_stats().node_accesses;
+        }
+        assert!(
+            bf_total <= df_total,
+            "best-first {bf_total} must not exceed depth-first {df_total}"
+        );
+    }
+
+    #[test]
+    fn nn_on_duplicate_points() {
+        let mut tree = RTree::new(RTreeConfig::tiny());
+        let p = Point::new(1.0, 1.0);
+        for i in 0..10 {
+            tree.insert(Item::new(p, i));
+        }
+        tree.insert(Item::new(Point::new(5.0, 5.0), 99));
+        let res = tree.knn(Point::new(1.1, 1.0), 10);
+        assert_eq!(res.len(), 10);
+        // The far point is excluded; all ten duplicates win.
+        assert!(res.iter().all(|(i, _)| i.id != 99));
+    }
+}

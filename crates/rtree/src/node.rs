@@ -1,0 +1,142 @@
+//! Node and entry representation.
+//!
+//! Nodes live in an arena (`Vec<Node>`) inside [`crate::RTree`]; a
+//! [`NodeId`] is an index into it. Each node corresponds to one disk
+//! page in the cost model. Leaf nodes (level 0) hold data points;
+//! internal nodes hold `(MBR, child)` entries.
+
+use lbq_geom::{Point, Rect};
+
+/// Index of a node in the tree arena. Doubles as the *page id* in the
+/// buffer-pool cost model.
+pub type NodeId = u32;
+
+/// A data object: a point plus an opaque record identifier.
+///
+/// `id` is what a real system would store as the record pointer; the
+/// workloads use it to identify objects across queries (influence sets,
+/// result diffs) without comparing floating-point coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Item {
+    pub point: Point,
+    pub id: u64,
+}
+
+impl Item {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(point: Point, id: u64) -> Self {
+        Item { point, id }
+    }
+}
+
+/// One slot of a node.
+#[derive(Debug, Clone)]
+pub(crate) enum Entry {
+    /// Internal entry: child page and its minimum bounding rectangle.
+    Child { mbr: Rect, node: NodeId },
+    /// Leaf entry: a data point.
+    Leaf(Item),
+}
+
+impl Entry {
+    /// The MBR of the entry (degenerate rectangle for a point).
+    #[inline]
+    pub fn mbr(&self) -> Rect {
+        match self {
+            Entry::Child { mbr, .. } => *mbr,
+            Entry::Leaf(item) => Rect::from_point(item.point),
+        }
+    }
+
+    /// The child id of an internal entry. Panics on leaf entries —
+    /// callers always know the level they are traversing.
+    #[inline]
+    pub fn child(&self) -> NodeId {
+        match self {
+            Entry::Child { node, .. } => *node,
+            Entry::Leaf(_) => panic!("child() on a leaf entry"),
+        }
+    }
+
+    /// The item of a leaf entry. Panics on internal entries.
+    #[inline]
+    pub fn item(&self) -> Item {
+        match self {
+            Entry::Leaf(item) => *item,
+            Entry::Child { .. } => panic!("item() on an internal entry"),
+        }
+    }
+}
+
+/// A tree node — one disk page.
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    /// Level in the tree: 0 for leaves, increasing toward the root.
+    pub level: u32,
+    pub entries: Vec<Entry>,
+}
+
+impl Node {
+    pub fn new_leaf() -> Self {
+        Node { level: 0, entries: Vec::new() }
+    }
+
+    pub fn new_internal(level: u32) -> Self {
+        debug_assert!(level > 0);
+        Node { level, entries: Vec::new() }
+    }
+
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// The node's own MBR — the union of its entries' MBRs. `None` for an
+    /// empty node (only the root of an empty tree).
+    pub fn mbr(&self) -> Option<Rect> {
+        let mut it = self.entries.iter();
+        let mut r = it.next()?.mbr();
+        for e in it {
+            r.expand_to_rect(&e.mbr());
+        }
+        Some(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_mbr_of_point_is_degenerate() {
+        let e = Entry::Leaf(Item::new(Point::new(2.0, 3.0), 7));
+        let r = e.mbr();
+        assert_eq!(r, Rect::new(2.0, 3.0, 2.0, 3.0));
+        assert_eq!(e.item().id, 7);
+    }
+
+    #[test]
+    fn node_mbr_unions_entries() {
+        let mut n = Node::new_leaf();
+        assert!(n.mbr().is_none());
+        n.entries.push(Entry::Leaf(Item::new(Point::new(0.0, 0.0), 1)));
+        n.entries.push(Entry::Leaf(Item::new(Point::new(4.0, -2.0), 2)));
+        n.entries.push(Entry::Leaf(Item::new(Point::new(1.0, 5.0), 3)));
+        assert_eq!(n.mbr().unwrap(), Rect::new(0.0, -2.0, 4.0, 5.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn child_on_leaf_panics() {
+        let e = Entry::Leaf(Item::new(Point::ORIGIN, 0));
+        let _ = e.child();
+    }
+
+    #[test]
+    #[should_panic]
+    fn item_on_internal_panics() {
+        let e = Entry::Child { mbr: Rect::new(0.0, 0.0, 1.0, 1.0), node: 3 };
+        let _ = e.item();
+    }
+}

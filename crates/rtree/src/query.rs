@@ -1,0 +1,181 @@
+//! Window (range) queries.
+//!
+//! The classic recursive descent: visit every node whose MBR intersects
+//! the query rectangle. Each visited node is metered as one node access
+//! (and one buffer touch), reproducing the paper's NA/PA accounting.
+
+use crate::node::{Item, NodeId};
+use crate::tree::RTree;
+use lbq_geom::Rect;
+
+impl RTree {
+    /// Returns all items inside the closed query rectangle `q`.
+    pub fn window(&self, q: &Rect) -> Vec<Item> {
+        let mut out = Vec::new();
+        self.window_into(self.root, q, &mut out);
+        out
+    }
+
+    fn window_into(&self, node_id: NodeId, q: &Rect, out: &mut Vec<Item>) {
+        self.access(node_id);
+        let node = self.node(node_id);
+        if node.is_leaf() {
+            out.extend(
+                node.entries
+                    .iter()
+                    .map(|e| e.item())
+                    .filter(|item| q.contains(item.point)),
+            );
+            return;
+        }
+        for e in &node.entries {
+            if e.mbr().intersects(q) {
+                self.window_into(e.child(), q, out);
+            }
+        }
+    }
+
+    /// Number of items inside `q` without materializing them (same
+    /// traversal and metering as [`RTree::window`]).
+    pub fn window_count(&self, q: &Rect) -> usize {
+        fn rec(tree: &RTree, node_id: NodeId, q: &Rect) -> usize {
+            tree.access(node_id);
+            let node = tree.node(node_id);
+            if node.is_leaf() {
+                return node
+                    .entries
+                    .iter()
+                    .filter(|e| q.contains(e.item().point))
+                    .count();
+            }
+            node.entries
+                .iter()
+                .filter(|e| e.mbr().intersects(q))
+                .map(|e| rec(tree, e.child(), q))
+                .sum()
+        }
+        rec(self, self.root, q)
+    }
+
+    /// Counts tree nodes whose MBR intersects `q`, and those fully
+    /// contained in `q` — the quantities `NA_intrsct` and `NA_cont` of
+    /// the paper's Section 5 cost analysis for the second (marginal)
+    /// window query. Unmetered: this is a model-validation helper, not a
+    /// query a server would run.
+    pub fn node_intersection_profile(&self, q: &Rect) -> (u64, u64) {
+        fn rec(tree: &RTree, node_id: NodeId, q: &Rect, acc: &mut (u64, u64)) {
+            let mbr = match tree.node(node_id).mbr() {
+                Some(r) => r,
+                None => return,
+            };
+            if !mbr.intersects(q) {
+                return;
+            }
+            acc.0 += 1;
+            if q.contains_rect(&mbr) {
+                acc.1 += 1;
+            }
+            let node = tree.node(node_id);
+            if !node.is_leaf() {
+                for e in &node.entries {
+                    rec(tree, e.child(), q, acc);
+                }
+            }
+        }
+        let mut acc = (0, 0);
+        rec(self, self.root, q, &mut acc);
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Item, RTreeConfig};
+    use lbq_geom::Point;
+
+    fn build(n: usize, seed: u64) -> (RTree, Vec<Item>) {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let items: Vec<Item> = (0..n)
+            .map(|i| {
+                let x = (next() >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
+                let y = (next() >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
+                Item::new(Point::new(x, y), i as u64)
+            })
+            .collect();
+        (RTree::bulk_load(items.clone(), RTreeConfig::tiny()), items)
+    }
+
+    fn brute(items: &[Item], q: &Rect) -> Vec<u64> {
+        let mut v: Vec<u64> = items
+            .iter()
+            .filter(|i| q.contains(i.point))
+            .map(|i| i.id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn window_matches_brute_force() {
+        let (tree, items) = build(800, 3);
+        let queries = [
+            Rect::new(10.0, 10.0, 30.0, 40.0),
+            Rect::new(0.0, 0.0, 100.0, 100.0),
+            Rect::new(99.5, 99.5, 100.0, 100.0),
+            Rect::new(-10.0, -10.0, -1.0, -1.0),
+            Rect::new(50.0, 0.0, 50.0, 100.0), // degenerate line window
+        ];
+        for q in &queries {
+            let mut got: Vec<u64> = tree.window(q).into_iter().map(|i| i.id).collect();
+            got.sort_unstable();
+            assert_eq!(got, brute(&items, q), "window {q:?}");
+            assert_eq!(tree.window_count(q), got.len());
+        }
+    }
+
+    #[test]
+    fn empty_window_costs_one_access() {
+        let (tree, _) = build(500, 11);
+        tree.take_stats();
+        let out = tree.window(&Rect::new(-50.0, -50.0, -40.0, -40.0));
+        assert!(out.is_empty());
+        let s = tree.take_stats();
+        assert_eq!(s.node_accesses, 1, "only the root is read");
+    }
+
+    #[test]
+    fn full_window_reads_every_node() {
+        let (tree, _) = build(600, 13);
+        tree.take_stats();
+        let out = tree.window(&Rect::new(0.0, 0.0, 100.0, 100.0));
+        assert_eq!(out.len(), 600);
+        let s = tree.take_stats();
+        assert_eq!(s.node_accesses as usize, tree.node_count());
+    }
+
+    #[test]
+    fn intersection_profile_consistent() {
+        let (tree, _) = build(700, 17);
+        let q = Rect::new(20.0, 20.0, 70.0, 60.0);
+        let (intersecting, contained) = tree.node_intersection_profile(&q);
+        assert!(contained <= intersecting);
+        // The window query visits exactly the intersecting nodes.
+        tree.take_stats();
+        let _ = tree.window(&q);
+        let s = tree.take_stats();
+        assert_eq!(s.node_accesses, intersecting);
+        // A universe query contains every node.
+        let all = Rect::new(-1.0, -1.0, 101.0, 101.0);
+        let (i2, c2) = tree.node_intersection_profile(&all);
+        assert_eq!(i2, c2);
+        assert_eq!(i2 as usize, tree.node_count());
+    }
+}

@@ -1,0 +1,313 @@
+//! The tree handle: arena storage, metering, and structural invariants.
+
+use crate::node::{Entry, Item, Node, NodeId};
+use crate::stats::{LruBuffer, Stats, StatsCell};
+use crate::RTreeConfig;
+use lbq_geom::Rect;
+use std::cell::RefCell;
+
+/// A disk-model R\*-tree over 2D points. See the crate docs for the
+/// feature inventory.
+#[derive(Debug)]
+pub struct RTree {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) free: Vec<NodeId>,
+    pub(crate) root: NodeId,
+    pub(crate) config: RTreeConfig,
+    pub(crate) len: usize,
+    pub(crate) stats: StatsCell,
+    pub(crate) buffer: RefCell<Option<LruBuffer>>,
+}
+
+impl RTree {
+    /// Creates an empty tree.
+    pub fn new(config: RTreeConfig) -> Self {
+        RTree {
+            nodes: vec![Node::new_leaf()],
+            free: Vec::new(),
+            root: 0,
+            config,
+            len: 0,
+            stats: StatsCell::default(),
+            buffer: RefCell::new(None),
+        }
+    }
+
+    /// Number of data points stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the tree stores no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height: number of levels (1 for a root-only tree).
+    pub fn height(&self) -> u32 {
+        self.nodes[self.root as usize].level + 1
+    }
+
+    /// Number of live nodes (= pages occupied on disk in the cost
+    /// model).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// The structural configuration.
+    pub fn config(&self) -> RTreeConfig {
+        self.config
+    }
+
+    /// MBR of the whole dataset, `None` when empty.
+    pub fn mbr(&self) -> Option<Rect> {
+        self.nodes[self.root as usize].mbr()
+    }
+
+    /// Attaches an LRU buffer of `pages` pages (replacing any existing
+    /// buffer, cold). Pass the result of
+    /// `(tree.node_count() as f64 * 0.1).ceil()` to reproduce the paper's
+    /// "10% of the R-tree size" setting.
+    pub fn set_buffer(&self, pages: usize) {
+        *self.buffer.borrow_mut() = Some(LruBuffer::new(pages));
+    }
+
+    /// Detaches the buffer (PA becomes equal to NA again).
+    pub fn clear_buffer(&self) {
+        *self.buffer.borrow_mut() = None;
+    }
+
+    /// Convenience: attach a buffer sized as `fraction` of the current
+    /// node count, as the paper does with 10%.
+    pub fn set_buffer_fraction(&self, fraction: f64) {
+        let pages = ((self.node_count() as f64) * fraction).ceil().max(1.0) as usize;
+        self.set_buffer(pages);
+    }
+
+    /// Snapshot the access counters **and reset them**, so successive
+    /// calls attribute cost to phases.
+    pub fn take_stats(&self) -> Stats {
+        let s = self.stats.snapshot();
+        self.stats.reset();
+        s
+    }
+
+    /// Current counters without resetting.
+    pub fn stats(&self) -> Stats {
+        self.stats.snapshot()
+    }
+
+    /// Registers a read of `node` with the meter and the buffer.
+    #[inline]
+    pub(crate) fn access(&self, node: NodeId) {
+        self.stats
+            .node_accesses
+            .set(self.stats.node_accesses.get() + 1);
+        let mut buf = self.buffer.borrow_mut();
+        let faulted = match buf.as_mut() {
+            Some(b) => b.touch(node),
+            None => true, // unbuffered: every access is a page read
+        };
+        if faulted {
+            self.stats.page_faults.set(self.stats.page_faults.get() + 1);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id as usize]
+    }
+
+    #[inline]
+    pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id as usize]
+    }
+
+    /// Allocates a node slot (reusing freed pages first).
+    pub(crate) fn alloc(&mut self, node: Node) -> NodeId {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id as usize] = node;
+            id
+        } else {
+            let id = self.nodes.len() as NodeId;
+            self.nodes.push(node);
+            id
+        }
+    }
+
+    /// Returns a node slot to the free list.
+    pub(crate) fn dealloc(&mut self, id: NodeId) {
+        self.nodes[id as usize] = Node::new_leaf();
+        self.free.push(id);
+    }
+
+    /// Iterates over all stored items (unmetered — a maintenance scan,
+    /// not a query).
+    pub fn iter_items(&self) -> impl Iterator<Item = Item> + '_ {
+        let mut stack = vec![self.root];
+        let mut pending: Vec<Item> = Vec::new();
+        std::iter::from_fn(move || loop {
+            if let Some(item) = pending.pop() {
+                return Some(item);
+            }
+            let id = stack.pop()?;
+            let node = &self.nodes[id as usize];
+            if node.is_leaf() {
+                pending.extend(node.entries.iter().map(|e| e.item()));
+            } else {
+                stack.extend(node.entries.iter().map(|e| e.child()));
+            }
+        })
+    }
+
+    /// Verifies every structural invariant; returns a description of the
+    /// first violation. Used by tests and debug assertions, never by
+    /// query paths.
+    ///
+    /// Checked invariants:
+    /// 1. parent MBRs exactly tight over children;
+    /// 2. all leaves at level 0, levels decrease by 1 per step;
+    /// 3. entry counts within `[min_entries, max_entries]` for non-root
+    ///    nodes, root has ≥ 2 entries unless it is a leaf;
+    /// 4. stored item count matches `len`.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut item_count = 0usize;
+        self.check_node(self.root, None, true, &mut item_count)?;
+        if item_count != self.len {
+            return Err(format!(
+                "len mismatch: counted {item_count}, recorded {}",
+                self.len
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_node(
+        &self,
+        id: NodeId,
+        expected_mbr: Option<Rect>,
+        is_root: bool,
+        item_count: &mut usize,
+    ) -> Result<(), String> {
+        let node = self.node(id);
+        let n = node.entries.len();
+        if is_root {
+            if !node.is_leaf() && n < 2 {
+                return Err(format!("internal root with {n} entries"));
+            }
+        } else if n < self.config.min_entries || n > self.config.max_entries {
+            return Err(format!(
+                "node {id} at level {} has {n} entries (bounds {}..={})",
+                node.level, self.config.min_entries, self.config.max_entries
+            ));
+        }
+        if let Some(expect) = expected_mbr {
+            let actual = node
+                .mbr()
+                .ok_or_else(|| format!("empty non-root node {id}"))?;
+            if !rect_close(&expect, &actual) {
+                return Err(format!(
+                    "node {id} MBR {actual:?} differs from parent entry {expect:?}"
+                ));
+            }
+        }
+        if node.is_leaf() {
+            *item_count += n;
+            return Ok(());
+        }
+        for e in &node.entries {
+            let (mbr, child) = match e {
+                Entry::Child { mbr, node } => (*mbr, *node),
+                Entry::Leaf(_) => {
+                    return Err(format!("leaf entry in internal node {id}"))
+                }
+            };
+            let child_node = self.node(child);
+            if child_node.level + 1 != node.level {
+                return Err(format!(
+                    "child {child} level {} under node {id} level {}",
+                    child_node.level, node.level
+                ));
+            }
+            self.check_node(child, Some(mbr), false, item_count)?;
+        }
+        Ok(())
+    }
+}
+
+fn rect_close(a: &Rect, b: &Rect) -> bool {
+    let eps = 1e-9
+        * a.width()
+            .abs()
+            .max(a.height().abs())
+            .max(b.width().abs())
+            .max(b.height().abs())
+            .max(1.0);
+    (a.xmin - b.xmin).abs() <= eps
+        && (a.ymin - b.ymin).abs() <= eps
+        && (a.xmax - b.xmax).abs() <= eps
+        && (a.ymax - b.ymax).abs() <= eps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbq_geom::Point;
+
+    #[test]
+    fn empty_tree_shape() {
+        let t = RTree::new(RTreeConfig::tiny());
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.node_count(), 1);
+        assert!(t.mbr().is_none());
+        assert!(t.check_invariants().is_ok());
+        assert_eq!(t.iter_items().count(), 0);
+    }
+
+    #[test]
+    fn metering_without_buffer_pa_equals_na() {
+        let mut t = RTree::new(RTreeConfig::tiny());
+        for i in 0..100 {
+            t.insert(Item::new(Point::new(i as f64, (i * 7 % 13) as f64), i));
+        }
+        t.take_stats();
+        let _ = t.window(&Rect::new(0.0, 0.0, 50.0, 13.0));
+        let s = t.take_stats();
+        assert!(s.node_accesses > 0);
+        assert_eq!(s.node_accesses, s.page_faults);
+    }
+
+    #[test]
+    fn metering_with_huge_buffer_faults_once_per_page() {
+        let mut t = RTree::new(RTreeConfig::tiny());
+        for i in 0..200 {
+            t.insert(Item::new(
+                Point::new((i * 37 % 100) as f64, (i * 17 % 100) as f64),
+                i,
+            ));
+        }
+        t.set_buffer(t.node_count());
+        t.take_stats();
+        let w = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let _ = t.window(&w);
+        let first = t.take_stats();
+        let _ = t.window(&w);
+        let second = t.take_stats();
+        // Second identical query: everything resident → zero faults.
+        assert_eq!(second.page_faults, 0);
+        assert_eq!(first.node_accesses, second.node_accesses);
+        assert!(first.page_faults > 0);
+    }
+
+    #[test]
+    fn take_stats_resets() {
+        let mut t = RTree::new(RTreeConfig::tiny());
+        for i in 0..50 {
+            t.insert(Item::new(Point::new(i as f64, 0.0), i));
+        }
+        let _ = t.take_stats();
+        assert_eq!(t.stats(), Stats::default());
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests: the Delaunay triangulation and its Voronoi dual on
+//! random point sets.
+
+use lbq_geom::{ConvexPolygon, HalfPlane, Point, Rect};
+use lbq_voronoi::{Delaunay, VoronoiDiagram};
+use proptest::prelude::*;
+
+fn sites_strategy(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64), 1..max)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+fn unit() -> Rect {
+    Rect::new(0.0, 0.0, 1.0, 1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn triangulation_is_delaunay_with_symmetric_adjacency(
+        sites in sites_strategy(80),
+    ) {
+        let d = Delaunay::build(&sites, unit());
+        d.check_adjacency().unwrap();
+        d.check_delaunay().unwrap();
+    }
+
+    #[test]
+    fn cells_tile_the_universe(sites in sites_strategy(60)) {
+        let d = VoronoiDiagram::build(&sites, unit());
+        let total: f64 = (0..d.len()).map(|i| d.cell(i).area()).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "total {}", total);
+    }
+
+    #[test]
+    fn cell_matches_all_pairs_clipping(sites in sites_strategy(25)) {
+        // The Delaunay-dual cell equals the brute-force intersection of
+        // every bisector half-plane.
+        let d = Delaunay::build(&sites, unit());
+        for i in 0..sites.len() {
+            let mut brute = ConvexPolygon::from_rect(&unit());
+            for (j, &o) in sites.iter().enumerate() {
+                if j != i && sites[i].dist(o) > 1e-12 {
+                    brute = brute.clip(&HalfPlane::bisector(sites[i], o));
+                }
+            }
+            let dual = d.voronoi_cell(i);
+            prop_assert!(
+                (dual.area() - brute.area()).abs() < 1e-8,
+                "site {}: dual {} brute {}", i, dual.area(), brute.area()
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_site_owns_containing_cell(
+        sites in sites_strategy(40),
+        qx in 0.0..1.0f64,
+        qy in 0.0..1.0f64,
+    ) {
+        let d = VoronoiDiagram::build(&sites, unit());
+        let q = Point::new(qx, qy);
+        let ns = d.nearest_site(q).unwrap();
+        prop_assert!(d.cell(ns).contains_eps(q, 1e-6));
+    }
+}

@@ -1,0 +1,123 @@
+//! End-to-end integration: dataset generation → R\*-tree server →
+//! location-based NN queries → client-side validation, cross-checked
+//! against the independent Voronoi substrate.
+
+use lbq_core::{baselines::Zl01Server, LbqServer};
+use lbq_data::{gr_like_sized, paper_query_points, uniform_unit};
+use lbq_geom::{Point, Rect};
+use lbq_rtree::{RTree, RTreeConfig};
+use lbq_voronoi::VoronoiDiagram;
+
+#[test]
+fn uniform_pipeline_region_equals_voronoi_cell() {
+    let data = uniform_unit(400, 11);
+    let server = LbqServer::new(
+        RTree::bulk_load(data.items.clone(), RTreeConfig::tiny()),
+        data.universe,
+    );
+    let vd = VoronoiDiagram::build(&data.points(), data.universe);
+    for q in paper_query_points(&data, 5).into_iter().take(40) {
+        let resp = server.knn_with_validity(q, 1);
+        let cell = vd.cell(resp.result[0].id as usize);
+        assert!(
+            (resp.validity.area() - cell.area()).abs() <= 1e-9 * cell.area().max(1e-12),
+            "at {q}: region {} vs cell {}",
+            resp.validity.area(),
+            cell.area()
+        );
+    }
+}
+
+#[test]
+fn clustered_pipeline_validity_is_exact_under_motion() {
+    // GR-like street data; replay a client walking through a cluster and
+    // assert the cached kNN answer is exact at every step while the
+    // validity region says so (and wrong the step after it says no).
+    let data = gr_like_sized(3_000, 9);
+    let server = LbqServer::new(
+        RTree::bulk_load(data.items.clone(), RTreeConfig::paper()),
+        data.universe,
+    );
+    for k in [1usize, 4] {
+        let start = data.items[100].point;
+        let mut pos = start;
+        let dir = lbq_geom::Vec2::from_angle(1.1);
+        let mut resp = server.knn_with_validity(pos, k);
+        let mut requeries = 0;
+        for _ in 0..400 {
+            pos = data.universe.clamp_point(pos + dir * 40.0);
+            if !resp.validity.contains(pos) {
+                resp = server.knn_with_validity(pos, k);
+                requeries += 1;
+            }
+            let truth: Vec<u64> = server
+                .tree()
+                .knn(pos, k)
+                .into_iter()
+                .map(|(i, _)| i.id)
+                .collect();
+            let mut cached: Vec<u64> = resp.result.iter().map(|i| i.id).collect();
+            cached.sort_unstable();
+            let mut truth_sorted = truth.clone();
+            truth_sorted.sort_unstable();
+            assert_eq!(cached, truth_sorted, "k={k} at {pos}");
+        }
+        assert!(requeries < 400, "caching must save something (k={k})");
+    }
+}
+
+#[test]
+fn zl01_baseline_consistent_with_lbq_regions() {
+    // For 1-NN both systems describe the same Voronoi cell; ZL01's safe
+    // disk must lie inside LBQ's region.
+    let data = uniform_unit(250, 3);
+    let server = LbqServer::new(
+        RTree::bulk_load(data.items.clone(), RTreeConfig::tiny()),
+        data.universe,
+    );
+    let zl = Zl01Server::build(&data.items, data.universe);
+    for q in paper_query_points(&data, 8).into_iter().take(30) {
+        let lbq = server.knn_with_validity(q, 1);
+        let z = zl.query(q).unwrap();
+        assert_eq!(lbq.result[0].id, z.nn.id, "at {q}");
+        for i in 0..12 {
+            let theta = i as f64 * std::f64::consts::TAU / 12.0;
+            let p = q + lbq_geom::Vec2::from_angle(theta) * (z.safe_distance * 0.99);
+            if data.universe.contains(p) {
+                assert!(
+                    lbq.validity.contains(p),
+                    "ZL01 disk point {p} outside LBQ region at {q}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn influence_set_is_the_wire_format() {
+    // A client given only (result, influence pairs) reconstructs the
+    // same validity decisions as the server-side polygon.
+    let data = uniform_unit(300, 21);
+    let server = LbqServer::new(
+        RTree::bulk_load(data.items.clone(), RTreeConfig::tiny()),
+        data.universe,
+    );
+    let q = Point::new(0.37, 0.61);
+    let resp = server.knn_with_validity(q, 3);
+    let poly = &resp.validity.polygon;
+    for i in 0..40 {
+        for j in 0..40 {
+            let p = Point::new(i as f64 / 40.0 + 0.012, j as f64 / 40.0 + 0.008);
+            let by_pairs = resp.validity.contains(p);
+            // Clear of the boundary the two decisions must agree.
+            let d_in = poly.contains_eps(p, -1e-7);
+            let d_out = !poly.contains_eps(p, 1e-7);
+            if d_in {
+                assert!(by_pairs, "pairs reject interior point {p}");
+            }
+            if d_out && Rect::new(0.0, 0.0, 1.0, 1.0).contains(p) {
+                assert!(!by_pairs, "pairs accept exterior point {p}");
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Statistical integration tests: the Section 5 analytical models must
+//! track measurement (these are miniature versions of the paper's
+//! Figs. 22/29 "actual vs estimated" comparisons, with fixed seeds and
+//! loose tolerances).
+
+use lbq_bench::figures::{build_tree, run_nn_workload, run_window_workload};
+use lbq_core::analysis;
+use lbq_data::{paper_query_points, uniform_unit, window_queries_frac};
+use lbq_hist::Minskew;
+
+#[test]
+fn nn_area_model_tracks_measurement() {
+    for n in [10_000usize, 50_000] {
+        let data = uniform_unit(n, 1);
+        let tree = build_tree(&data);
+        let queries: Vec<_> = paper_query_points(&data, 2).into_iter().take(150).collect();
+        let st = run_nn_workload(&tree, data.universe, &queries, 1);
+        let est = analysis::nn_validity_area(n as f64, 1);
+        let ratio = st.area / est;
+        assert!(
+            (0.6..1.6).contains(&ratio),
+            "n={n}: measured {} vs model {est} (ratio {ratio})",
+            st.area
+        );
+    }
+}
+
+#[test]
+fn nn_area_model_tracks_k_scaling() {
+    let n = 20_000usize;
+    let data = uniform_unit(n, 3);
+    let tree = build_tree(&data);
+    let queries: Vec<_> = paper_query_points(&data, 4).into_iter().take(120).collect();
+    let a1 = run_nn_workload(&tree, data.universe, &queries, 1).area;
+    for k in [3usize, 10] {
+        let ak = run_nn_workload(&tree, data.universe, &queries, k).area;
+        let measured = a1 / ak;
+        let model = analysis::nn_validity_area(n as f64, 1) / analysis::nn_validity_area(n as f64, k);
+        let ratio = measured / model;
+        assert!(
+            (0.6..1.7).contains(&ratio),
+            "k={k}: measured shrink {measured:.2} vs model {model:.2}"
+        );
+    }
+}
+
+#[test]
+fn window_area_model_tracks_measurement() {
+    let n = 50_000usize;
+    let data = uniform_unit(n, 5);
+    let tree = build_tree(&data);
+    for frac in [0.001, 0.01] {
+        let windows = window_queries_frac(&data, 150, frac, 6);
+        let st = run_window_workload(&tree, data.universe, &windows);
+        let q = frac.sqrt();
+        let est = analysis::window_validity_area(n as f64, q, q);
+        let ratio = st.area / est;
+        assert!(
+            (0.4..2.2).contains(&ratio),
+            "qs={frac}: measured {} vs model {est} (ratio {ratio})",
+            st.area
+        );
+    }
+}
+
+#[test]
+fn inner_extents_formula_tracks_measurement() {
+    // eq. (5-7): dist_x = 1/(N·q_y). Measure the inner rectangle's mean
+    // half-extents directly.
+    let n = 30_000usize;
+    let data = uniform_unit(n, 9);
+    let tree = build_tree(&data);
+    let frac = 0.01;
+    // eq. (5-7) models interior windows; boundary-straddling ones have
+    // artificially long empty sweeps, so keep windows fully inside.
+    let inner_universe = lbq_geom::Rect::new(0.1, 0.1, 0.9, 0.9);
+    let windows: Vec<_> = window_queries_frac(&data, 400, frac, 7)
+        .into_iter()
+        .filter(|w| inner_universe.contains_rect(w))
+        .collect();
+    let mut half_x = Vec::new();
+    for w in &windows {
+        let c = w.center();
+        let (hx, hy) = (w.width() / 2.0, w.height() / 2.0);
+        let resp =
+            lbq_core::window_with_validity(&tree, c, hx, hy, data.universe);
+        if resp.result.is_empty() {
+            continue;
+        }
+        half_x.push((resp.validity.inner_rect.width() / 2.0).max(0.0));
+    }
+    let measured: f64 = half_x.iter().sum::<f64>() / half_x.len() as f64;
+    let (dx, _) = analysis::window_inner_extents(n as f64, frac.sqrt(), frac.sqrt());
+    let ratio = measured / dx;
+    assert!(
+        (0.4..2.5).contains(&ratio),
+        "inner extent: measured {measured} vs eq.5-7 {dx} (ratio {ratio})"
+    );
+}
+
+#[test]
+fn rtree_cost_model_tracks_measurement() {
+    let n = 100_000usize;
+    let data = uniform_unit(n, 13);
+    let tree = build_tree(&data);
+    let model = analysis::RtreeCostModel::paper(n as f64);
+    for frac in [0.001f64, 0.01] {
+        let windows = window_queries_frac(&data, 100, frac, 8);
+        tree.take_stats();
+        for w in &windows {
+            let _ = tree.window(w);
+        }
+        let measured = tree.take_stats().node_accesses as f64 / windows.len() as f64;
+        let q = frac.sqrt();
+        let est = model.window_na(q, q);
+        let ratio = measured / est;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "qs={frac}: measured NA {measured} vs model {est}"
+        );
+    }
+}
+
+#[test]
+fn minskew_correction_beats_global_n_on_skewed_data() {
+    // On clustered data the Minskew-corrected NN-area estimate must be
+    // closer to measurement than the naive global-N estimate,
+    // *per query* in log space (means are dominated by the few huge
+    // cells of background queries; per-query accuracy is what the
+    // histogram buys and what the paper's "estimations are accurate"
+    // claim is about).
+    let data = lbq_data::na_like_sized(30_000, 7);
+    let tree = build_tree(&data);
+    let hist = Minskew::paper(&data.points(), data.universe);
+    let queries: Vec<_> = paper_query_points(&data, 3).into_iter().take(120).collect();
+
+    let naive_est =
+        analysis::nn_validity_area(data.len() as f64, 1) * data.universe.area();
+    let mut err_naive = 0.0;
+    let mut err_hist = 0.0;
+    let mut counted = 0;
+    for &q in &queries {
+        let inner: Vec<_> = tree.knn(q, 1).into_iter().map(|(i, _)| i).collect();
+        let (validity, _) =
+            lbq_core::retrieve_influence_set(&tree, q, &inner, data.universe);
+        let actual = validity.area();
+        if actual <= 0.0 {
+            continue;
+        }
+        let n_eff = hist.effective_cardinality_nn(q, 1).max(1.0);
+        let hist_est = analysis::nn_validity_area(n_eff, 1) * data.universe.area();
+        err_naive += (naive_est.ln() - actual.ln()).abs();
+        err_hist += (hist_est.ln() - actual.ln()).abs();
+        counted += 1;
+    }
+    assert!(counted > 80);
+    assert!(
+        err_hist < err_naive,
+        "per-query log error: hist {:.3} should beat naive {:.3}",
+        err_hist / counted as f64,
+        err_naive / counted as f64
+    );
+}
