@@ -1,0 +1,20 @@
+#!/bin/sh
+# Workspace gate: formatting, release build, project lints, tests.
+# Run from the repository root. Any failing step aborts the run.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo build --release"
+cargo build --workspace --release
+
+echo "== lbq-check"
+cargo run --release -q -p lbq-check
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "ci: ok"

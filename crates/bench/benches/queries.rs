@@ -1,11 +1,15 @@
-//! Criterion micro-benchmarks: server-side latency of every query type
-//! the paper's server executes, at N = 100k uniform points with the
-//! paper's page geometry.
+//! Micro-benchmarks: server-side latency of every query type the
+//! paper's server executes, at N = 100k uniform points with the paper's
+//! page geometry.
 //!
 //! These complement the NA/PA tables (the paper's cost metric is I/O;
-//! this is the CPU side of the same operations).
+//! this is the CPU side of the same operations). Formerly criterion;
+//! now a plain `harness = false` main over
+//! [`lbq_bench::microbench::bench`] so the workspace builds offline.
+//!
+//! Run with `cargo bench -p lbq-bench --bench queries`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbq_bench::microbench::bench;
 use lbq_core::{retrieve_influence_set, window_with_validity};
 use lbq_data::{paper_query_points, uniform_unit};
 use lbq_geom::{Point, Rect, Vec2};
@@ -18,94 +22,67 @@ fn setup(n: usize) -> (RTree, Rect, Vec<Point>) {
     (tree, data.universe, queries)
 }
 
-fn bench_knn(c: &mut Criterion) {
+fn bench_knn() {
     let (tree, _, queries) = setup(100_000);
-    let mut group = c.benchmark_group("knn");
     for k in [1usize, 10, 100] {
-        group.bench_with_input(BenchmarkId::new("best_first", k), &k, |b, &k| {
-            let mut i = 0;
-            b.iter(|| {
-                i = (i + 1) % queries.len();
-                tree.knn(queries[i], k)
-            });
+        let mut i = 0;
+        bench(&format!("knn/best_first/{k}"), || {
+            i = (i + 1) % queries.len();
+            tree.knn(queries[i], k)
         });
-        group.bench_with_input(BenchmarkId::new("depth_first", k), &k, |b, &k| {
-            let mut i = 0;
-            b.iter(|| {
-                i = (i + 1) % queries.len();
-                tree.knn_depth_first(queries[i], k)
-            });
+        let mut i = 0;
+        bench(&format!("knn/depth_first/{k}"), || {
+            i = (i + 1) % queries.len();
+            tree.knn_depth_first(queries[i], k)
         });
     }
-    group.finish();
 }
 
-fn bench_tpnn_bounds(c: &mut Criterion) {
+fn bench_tpnn_bounds() {
     let (tree, _, queries) = setup(100_000);
     let inners: Vec<(Point, Vec<Item>)> = queries
         .iter()
         .take(64)
         .map(|&q| (q, tree.knn(q, 1).into_iter().map(|(i, _)| i).collect()))
         .collect();
-    let mut group = c.benchmark_group("tpnn_bound");
     for (name, bound) in [("loose", TpBound::Loose), ("exact", TpBound::Exact)] {
-        group.bench_function(name, |b| {
-            let mut i = 0;
-            b.iter(|| {
-                i = (i + 1) % inners.len();
-                let (q, inner) = &inners[i];
-                tree.tp_knn_with_bound(*q, Vec2::new(0.6, 0.8), 0.1, inner, bound)
-            });
+        let mut i = 0;
+        bench(&format!("tpnn_bound/{name}"), || {
+            i = (i + 1) % inners.len();
+            let (q, inner) = &inners[i];
+            tree.tp_knn_with_bound(*q, Vec2::new(0.6, 0.8), 0.1, inner, bound)
         });
     }
-    group.finish();
 }
 
-fn bench_location_based_nn(c: &mut Criterion) {
-    let mut group = c.benchmark_group("location_based_nn");
+fn bench_location_based_nn() {
     for n in [10_000usize, 100_000] {
         let (tree, universe, queries) = setup(n);
         for k in [1usize, 10] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("n{n}"), k),
-                &k,
-                |b, &k| {
-                    let mut i = 0;
-                    b.iter(|| {
-                        i = (i + 1) % queries.len();
-                        let q = queries[i];
-                        let inner: Vec<Item> =
-                            tree.knn(q, k).into_iter().map(|(it, _)| it).collect();
-                        retrieve_influence_set(&tree, q, &inner, universe)
-                    });
-                },
-            );
+            let mut i = 0;
+            bench(&format!("location_based_nn/n{n}/{k}"), || {
+                i = (i + 1) % queries.len();
+                let q = queries[i];
+                let inner: Vec<Item> = tree.knn(q, k).into_iter().map(|(it, _)| it).collect();
+                retrieve_influence_set(&tree, q, &inner, universe)
+            });
         }
     }
-    group.finish();
 }
 
-fn bench_location_based_window(c: &mut Criterion) {
+fn bench_location_based_window() {
     let (tree, universe, queries) = setup(100_000);
-    let mut group = c.benchmark_group("location_based_window");
     for frac in [0.0001f64, 0.001, 0.01] {
         let h = frac.sqrt() / 2.0;
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("qs{frac}")),
-            &h,
-            |b, &h| {
-                let mut i = 0;
-                b.iter(|| {
-                    i = (i + 1) % queries.len();
-                    window_with_validity(&tree, queries[i], h, h, universe)
-                });
-            },
-        );
+        let mut i = 0;
+        bench(&format!("location_based_window/qs{frac}"), || {
+            i = (i + 1) % queries.len();
+            window_with_validity(&tree, queries[i], h, h, universe)
+        });
     }
-    group.finish();
 }
 
-fn bench_client_check(c: &mut Criterion) {
+fn bench_client_check() {
     // The client-side validity check the paper sizes its wire format
     // around: a handful of distance comparisons.
     let (tree, universe, queries) = setup(100_000);
@@ -113,17 +90,15 @@ fn bench_client_check(c: &mut Criterion) {
     let inner: Vec<Item> = tree.knn(q, 1).into_iter().map(|(i, _)| i).collect();
     let (validity, _) = retrieve_influence_set(&tree, q, &inner, universe);
     let probe = Point::new(q.x + 1e-4, q.y - 1e-4);
-    c.bench_function("client_validity_check", |b| {
-        b.iter(|| validity.contains(std::hint::black_box(probe)))
+    bench("client_validity_check", || {
+        validity.contains(std::hint::black_box(probe))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_knn,
-    bench_tpnn_bounds,
-    bench_location_based_nn,
-    bench_location_based_window,
-    bench_client_check
-);
-criterion_main!(benches);
+fn main() {
+    bench_knn();
+    bench_tpnn_bounds();
+    bench_location_based_nn();
+    bench_location_based_window();
+    bench_client_check();
+}

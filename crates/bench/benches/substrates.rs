@@ -1,63 +1,60 @@
-//! Criterion micro-benchmarks for the substrates: R\*-tree construction
-//! and maintenance, Delaunay/Voronoi construction (the `[ZL01]`
+//! Micro-benchmarks for the substrates: R\*-tree construction and
+//! maintenance, Delaunay/Voronoi construction (the `[ZL01]`
 //! precomputation the paper argues against), and Minskew builds.
+//!
+//! Formerly criterion; now a plain `harness = false` main over
+//! [`lbq_bench::microbench::bench`] so the workspace builds offline.
+//!
+//! Run with `cargo bench -p lbq-bench --bench substrates`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbq_bench::microbench::bench;
 use lbq_data::uniform_unit;
 use lbq_hist::Minskew;
 use lbq_rtree::{RTree, RTreeConfig};
 use lbq_voronoi::VoronoiDiagram;
 
-fn bench_tree_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rtree_build");
-    group.sample_size(10);
+fn bench_tree_build() {
     for n in [10_000usize, 100_000] {
         let data = uniform_unit(n, 5);
-        group.bench_with_input(BenchmarkId::new("bulk_str", n), &n, |b, _| {
-            b.iter(|| RTree::bulk_load(data.items.clone(), RTreeConfig::paper()))
+        bench(&format!("rtree_build/bulk_str/{n}"), || {
+            RTree::bulk_load(data.items.clone(), RTreeConfig::paper())
         });
     }
     // One-by-one R* insertion (small n — it is O(n log n) with heavy
     // constants, which is exactly why bulk loading exists).
     let data = uniform_unit(10_000, 5);
-    group.bench_function("insert_10k", |b| {
-        b.iter(|| {
-            let mut t = RTree::new(RTreeConfig::paper());
-            for &item in &data.items {
-                t.insert(item);
-            }
-            t
-        })
+    bench("rtree_build/insert_10k", || {
+        let mut t = RTree::new(RTreeConfig::paper());
+        for &item in &data.items {
+            t.insert(item);
+        }
+        t
     });
-    group.finish();
 }
 
-fn bench_voronoi_precompute(c: &mut Criterion) {
+fn bench_voronoi_precompute() {
     // The [ZL01] server-side precomputation; compare against
     // `location_based_nn` in queries.rs to see the paper's point: one
     // diagram build pays for a great many on-the-fly validity regions.
-    let mut group = c.benchmark_group("voronoi_precompute");
-    group.sample_size(10);
     for n in [1_000usize, 5_000] {
         let data = uniform_unit(n, 9);
         let pts = data.points();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| VoronoiDiagram::build(&pts, data.universe))
+        bench(&format!("voronoi_precompute/{n}"), || {
+            VoronoiDiagram::build(&pts, data.universe)
         });
     }
-    group.finish();
 }
 
-fn bench_minskew_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("minskew_build");
-    group.sample_size(10);
+fn bench_minskew_build() {
     let data = uniform_unit(100_000, 4);
     let pts = data.points();
-    group.bench_function("100k_500buckets", |b| {
-        b.iter(|| Minskew::paper(&pts, data.universe))
+    bench("minskew_build/100k_500buckets", || {
+        Minskew::paper(&pts, data.universe)
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_tree_build, bench_voronoi_precompute, bench_minskew_build);
-criterion_main!(benches);
+fn main() {
+    bench_tree_build();
+    bench_voronoi_precompute();
+    bench_minskew_build();
+}

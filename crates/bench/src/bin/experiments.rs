@@ -43,7 +43,11 @@ fn main() {
         }
         i += 1;
     }
-    let cfg = if quick { ExpConfig::quick() } else { ExpConfig::paper() };
+    let cfg = if quick {
+        ExpConfig::quick()
+    } else {
+        ExpConfig::paper()
+    };
     if all {
         // The shared-sweep path: Figs. 23/26/28 and 30/32/35 reuse one
         // expensive run per dataset.

@@ -110,8 +110,7 @@ pub fn run_window_workload(tree: &RTree, universe: Rect, windows: &[Rect]) -> Wi
     tree.set_buffer_fraction(0.1);
     tree.take_stats();
     let (mut areas, mut inner, mut outer) = (Vec::new(), Vec::new(), Vec::new());
-    let (mut na1, mut na2, mut pa1, mut pa2) =
-        (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    let (mut na1, mut na2, mut pa1, mut pa2) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
     for w in windows {
         let c = w.center();
         let (hx, hy) = (w.width() / 2.0, w.height() / 2.0);
@@ -119,8 +118,7 @@ pub fn run_window_workload(tree: &RTree, universe: Rect, windows: &[Rect]) -> Wi
         // (outer-candidate) query, via the split entry point.
         let result = tree.window(w);
         let s1 = tree.take_stats();
-        let resp =
-            lbq_core::window::window_validity_from_result(tree, c, hx, hy, universe, result);
+        let resp = lbq_core::window::window_validity_from_result(tree, c, hx, hy, universe, result);
         let s2 = tree.take_stats();
         if resp.result.is_empty() {
             continue;
@@ -157,9 +155,16 @@ pub fn fig22a(cfg: &ExpConfig) -> Table {
     for n in cfg.cardinalities() {
         let data = uniform_unit(n, cfg.seed);
         let tree = build_tree(&data);
-        let queries = paper_query_points(&data, cfg.seed).into_iter().take(cfg.queries).collect::<Vec<_>>();
+        let queries = paper_query_points(&data, cfg.seed)
+            .into_iter()
+            .take(cfg.queries)
+            .collect::<Vec<_>>();
         let st = run_nn_workload(&tree, data.universe, &queries, 1);
-        t.push(vec![n as f64, st.area, analysis::nn_validity_area(n as f64, 1)]);
+        t.push(vec![
+            n as f64,
+            st.area,
+            analysis::nn_validity_area(n as f64, 1),
+        ]);
     }
     t
 }
@@ -169,8 +174,10 @@ pub fn fig22b(cfg: &ExpConfig) -> Table {
     let n = ((100_000.0 * cfg.scale) as usize).max(1_000);
     let data = uniform_unit(n, cfg.seed);
     let tree = build_tree(&data);
-    let queries: Vec<Point> =
-        paper_query_points(&data, cfg.seed).into_iter().take(cfg.queries).collect();
+    let queries: Vec<Point> = paper_query_points(&data, cfg.seed)
+        .into_iter()
+        .take(cfg.queries)
+        .collect();
     let mut t = Table::new(
         "fig22b",
         "area of V(q) vs k (uniform, N=100k), actual vs estimated",
@@ -178,7 +185,11 @@ pub fn fig22b(cfg: &ExpConfig) -> Table {
     );
     for k in cfg.ks() {
         let st = run_nn_workload(&tree, data.universe, &queries, k);
-        t.push(vec![k as f64, st.area, analysis::nn_validity_area(n as f64, k)]);
+        t.push(vec![
+            k as f64,
+            st.area,
+            analysis::nn_validity_area(n as f64, k),
+        ]);
     }
     t
 }
@@ -189,8 +200,10 @@ pub fn fig22b(cfg: &ExpConfig) -> Table {
 pub fn real_dataset_k_sweep(cfg: &ExpConfig, data: &Dataset) -> Table {
     let tree = build_tree(data);
     let hist = Minskew::paper(&data.points(), data.universe);
-    let queries: Vec<Point> =
-        paper_query_points(data, cfg.seed).into_iter().take(cfg.queries).collect();
+    let queries: Vec<Point> = paper_query_points(data, cfg.seed)
+        .into_iter()
+        .take(cfg.queries)
+        .collect();
     let mut t = Table::new(
         &format!("ksweep-{}", data.name),
         &format!("k sweep over {} (area, |Sinf|, cost)", data.name),
@@ -211,8 +224,7 @@ pub fn real_dataset_k_sweep(cfg: &ExpConfig, data: &Dataset) -> Table {
                 .collect::<Vec<_>>(),
         );
         t.push(vec![
-            k as f64, st.area, est, st.sinf, st.edges, st.na_nn, st.na_tp, st.pa_nn,
-            st.pa_tp,
+            k as f64, st.area, est, st.sinf, st.edges, st.na_nn, st.na_tp, st.pa_nn, st.pa_tp,
         ]);
     }
     t
@@ -242,16 +254,20 @@ pub fn fig24(cfg: &ExpConfig) -> Vec<Table> {
     for n in cfg.cardinalities() {
         let data = uniform_unit(n, cfg.seed);
         let tree = build_tree(&data);
-        let queries: Vec<Point> =
-            paper_query_points(&data, cfg.seed).into_iter().take(cfg.queries).collect();
+        let queries: Vec<Point> = paper_query_points(&data, cfg.seed)
+            .into_iter()
+            .take(cfg.queries)
+            .collect();
         let st = run_nn_workload(&tree, data.universe, &queries, 1);
         by_n.push(vec![n as f64, st.edges]);
     }
     let n = ((100_000.0 * cfg.scale) as usize).max(1_000);
     let data = uniform_unit(n, cfg.seed);
     let tree = build_tree(&data);
-    let queries: Vec<Point> =
-        paper_query_points(&data, cfg.seed).into_iter().take(cfg.queries).collect();
+    let queries: Vec<Point> = paper_query_points(&data, cfg.seed)
+        .into_iter()
+        .take(cfg.queries)
+        .collect();
     let mut by_k = Table::new(
         "fig24b",
         "edges of V(q) vs k (uniform, N=100k); theory: ~6",
@@ -274,16 +290,20 @@ pub fn fig25(cfg: &ExpConfig) -> Vec<Table> {
     for n in cfg.cardinalities() {
         let data = uniform_unit(n, cfg.seed);
         let tree = build_tree(&data);
-        let queries: Vec<Point> =
-            paper_query_points(&data, cfg.seed).into_iter().take(cfg.queries).collect();
+        let queries: Vec<Point> = paper_query_points(&data, cfg.seed)
+            .into_iter()
+            .take(cfg.queries)
+            .collect();
         let st = run_nn_workload(&tree, data.universe, &queries, 1);
         by_n.push(vec![n as f64, st.sinf]);
     }
     let n = ((100_000.0 * cfg.scale) as usize).max(1_000);
     let data = uniform_unit(n, cfg.seed);
     let tree = build_tree(&data);
-    let queries: Vec<Point> =
-        paper_query_points(&data, cfg.seed).into_iter().take(cfg.queries).collect();
+    let queries: Vec<Point> = paper_query_points(&data, cfg.seed)
+        .into_iter()
+        .take(cfg.queries)
+        .collect();
     let mut by_k = Table::new(
         "fig25b",
         "|Sinf| vs k (uniform, N=100k); drops toward ~4",
@@ -319,8 +339,10 @@ pub fn fig27(cfg: &ExpConfig) -> Table {
     for n in cfg.cardinalities() {
         let data = uniform_unit(n, cfg.seed);
         let tree = build_tree(&data);
-        let queries: Vec<Point> =
-            paper_query_points(&data, cfg.seed).into_iter().take(cfg.queries).collect();
+        let queries: Vec<Point> = paper_query_points(&data, cfg.seed)
+            .into_iter()
+            .take(cfg.queries)
+            .collect();
         let st = run_nn_workload(&tree, data.universe, &queries, 1);
         t.push(vec![n as f64, st.na_nn, st.na_tp, st.pa_nn, st.pa_tp]);
     }
@@ -395,8 +417,15 @@ pub fn real_dataset_qs_sweep(cfg: &ExpConfig, data: &Dataset) -> Table {
         &format!("qsweep-{}", data.name),
         &format!("window qs sweep over {}", data.name),
         &[
-            "qs_km2", "area_m2", "area_est_m2", "inner", "outer", "na_result", "na_outer",
-            "pa_result", "pa_outer",
+            "qs_km2",
+            "area_m2",
+            "area_est_m2",
+            "inner",
+            "outer",
+            "na_result",
+            "na_outer",
+            "pa_result",
+            "pa_outer",
         ],
     );
     let side = data.universe.width();
@@ -502,7 +531,13 @@ pub fn fig34(cfg: &ExpConfig) -> Table {
         let tree = build_tree(&data);
         let windows = window_queries_frac(&data, cfg.queries, 0.001, cfg.seed);
         let st = run_window_workload(&tree, data.universe, &windows);
-        t.push(vec![n as f64, st.na_result, st.na_outer, st.pa_result, st.pa_outer]);
+        t.push(vec![
+            n as f64,
+            st.na_result,
+            st.na_outer,
+            st.pa_result,
+            st.pa_outer,
+        ]);
     }
     t
 }
@@ -571,8 +606,10 @@ pub fn ablation_tpnn_bound(cfg: &ExpConfig) -> Table {
     let n = ((100_000.0 * cfg.scale) as usize).max(1_000);
     let data = uniform_unit(n, cfg.seed);
     let tree = build_tree(&data);
-    let queries: Vec<Point> =
-        paper_query_points(&data, cfg.seed).into_iter().take(cfg.queries).collect();
+    let queries: Vec<Point> = paper_query_points(&data, cfg.seed)
+        .into_iter()
+        .take(cfg.queries)
+        .collect();
     let mut t = Table::new(
         "ablation-tpnn",
         "TPNN entry bound: loose (O(1)) vs exact (piecewise quadratic)",
@@ -612,8 +649,10 @@ pub fn ablation_buffer(cfg: &ExpConfig) -> Table {
     let n = ((100_000.0 * cfg.scale) as usize).max(1_000);
     let data = uniform_unit(n, cfg.seed);
     let tree = build_tree(&data);
-    let queries: Vec<Point> =
-        paper_query_points(&data, cfg.seed).into_iter().take(cfg.queries).collect();
+    let queries: Vec<Point> = paper_query_points(&data, cfg.seed)
+        .into_iter()
+        .take(cfg.queries)
+        .collect();
     let mut t = Table::new(
         "ablation-buffer",
         "PA per location-based NN query vs LRU buffer fraction",
@@ -668,8 +707,23 @@ pub fn run_figure(id: &str, cfg: &ExpConfig) -> Vec<Table> {
 /// All runnable figure ids, in paper order.
 pub fn all_figure_ids() -> Vec<&'static str> {
     vec![
-        "22a", "22b", "23", "24", "25", "26", "27", "28", "29", "30", "31", "32", "34",
-        "35", "savings", "ablation-tpnn", "ablation-buffer",
+        "22a",
+        "22b",
+        "23",
+        "24",
+        "25",
+        "26",
+        "27",
+        "28",
+        "29",
+        "30",
+        "31",
+        "32",
+        "34",
+        "35",
+        "savings",
+        "ablation-tpnn",
+        "ablation-buffer",
     ]
 }
 
@@ -737,11 +791,19 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExpConfig {
-        ExpConfig { queries: 25, scale: 0.1, seed: 7 }
+        ExpConfig {
+            queries: 25,
+            scale: 0.1,
+            seed: 7,
+        }
     }
 
     fn micro() -> ExpConfig {
-        ExpConfig { queries: 15, scale: 0.01, seed: 7 }
+        ExpConfig {
+            queries: 15,
+            scale: 0.01,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -763,7 +825,9 @@ mod tests {
 
     #[test]
     fn fig22b_shape_drops_with_k() {
-        let t = fig22b(&micro());
+        // tiny() rather than micro(): at n = 1k the k = 100 cell covers
+        // 10% of the dataset and boundary clipping drowns the trend.
+        let t = fig22b(&tiny());
         let actual = t.column("actual");
         for w in actual.windows(2) {
             assert!(w[1] < w[0], "area must shrink with k: {actual:?}");
@@ -774,12 +838,19 @@ mod tests {
     fn fig24_25_shapes() {
         let cfg = micro();
         let t = fig24(&cfg);
-        for edges in t[0].column("edges").iter().chain(t[1].column("edges").iter()) {
+        for edges in t[0]
+            .column("edges")
+            .iter()
+            .chain(t[1].column("edges").iter())
+        {
             assert!((3.5..9.0).contains(edges), "~6 edges expected, got {edges}");
         }
         let t = fig25(&cfg);
         for sinf in t[0].column("sinf") {
-            assert!((3.5..9.0).contains(&sinf), "~6 influence objects, got {sinf}");
+            assert!(
+                (3.5..9.0).contains(&sinf),
+                "~6 influence objects, got {sinf}"
+            );
         }
         // |Sinf| at k=100 below |Sinf| at k=1 (pairs share outers).
         let by_k = &t[1];
@@ -795,12 +866,18 @@ mod tests {
             if n < 5_000.0 {
                 continue; // buffer degenerates to ~1 page at toy sizes
             }
-            let (na_nn, na_tp, pa_tp) =
-                (row[t.col("na_nn")], row[t.col("na_tp")], row[t.col("pa_tp")]);
+            let (na_nn, na_tp, pa_tp) = (
+                row[t.col("na_nn")],
+                row[t.col("na_tp")],
+                row[t.col("pa_tp")],
+            );
             // TPNN phase reads many more nodes than the single NN query…
             assert!(na_tp > na_nn, "na_tp {na_tp} vs na_nn {na_nn}");
             // …but the warm buffer absorbs nearly all of it.
-            assert!(pa_tp < na_tp * 0.5, "buffer should absorb: pa {pa_tp} na {na_tp}");
+            assert!(
+                pa_tp < na_tp * 0.5,
+                "buffer should absorb: pa {pa_tp} na {na_tp}"
+            );
         }
     }
 
@@ -816,7 +893,11 @@ mod tests {
                 // The sweeping-region model assumes windows that hold
                 // several points (n·qs ≳ 5), as in all the paper's
                 // configurations; skip out-of-regime toy rows.
-                let nqs = if tab.id == "fig29a" { xs[i] * 0.001 } else { n_base * xs[i] };
+                let nqs = if tab.id == "fig29a" {
+                    xs[i] * 0.001
+                } else {
+                    n_base * xs[i]
+                };
                 if actual[i] > 0.0 && nqs >= 5.0 {
                     let ratio = est[i] / actual[i];
                     assert!(
@@ -865,14 +946,22 @@ mod tests {
         let queries = t.column("queries");
         // Row 0 is Naive — the ceiling; every cached strategy is below.
         for (i, q) in queries.iter().enumerate().skip(1) {
-            assert!(q < &queries[0], "strategy {i} did not save: {q} vs {}", queries[0]);
+            assert!(
+                q < &queries[0],
+                "strategy {i} did not save: {q} vs {}",
+                queries[0]
+            );
         }
     }
 
     #[test]
     fn all_ids_run() {
         // Smoke: the registry is consistent (cheap figures only).
-        let cfg = ExpConfig { queries: 5, scale: 0.01, seed: 1 };
+        let cfg = ExpConfig {
+            queries: 5,
+            scale: 0.01,
+            seed: 1,
+        };
         for id in ["22a", "27", "31", "savings", "ablation-buffer"] {
             let tables = run_figure(id, &cfg);
             assert!(!tables.is_empty());

@@ -16,12 +16,20 @@ pub struct ExpConfig {
 impl ExpConfig {
     /// Full paper-scale configuration.
     pub fn paper() -> Self {
-        ExpConfig { queries: 500, scale: 1.0, seed: 2003 }
+        ExpConfig {
+            queries: 500,
+            scale: 1.0,
+            seed: 2003,
+        }
     }
 
     /// ~10× cheaper smoke-run configuration.
     pub fn quick() -> Self {
-        ExpConfig { queries: 100, scale: 0.1, seed: 2003 }
+        ExpConfig {
+            queries: 100,
+            scale: 0.1,
+            seed: 2003,
+        }
     }
 
     /// The paper's uniform-data cardinality sweep (10k…1000k), scaled.
@@ -136,10 +144,12 @@ impl Table {
 /// Compact numeric formatting: scientific for very small/large values,
 /// plain otherwise.
 pub fn format_num(v: f64) -> String {
+    // lbq-check: allow(float-eq) — formatting dispatch, exact zero only
     if v == 0.0 {
         "0".into()
     } else if v.abs() < 1e-3 || v.abs() >= 1e7 {
         format!("{v:.3e}")
+    // lbq-check: allow(float-eq) — fract() is exact for integers
     } else if v.fract() == 0.0 && v.abs() < 1e7 {
         format!("{v:.0}")
     } else {

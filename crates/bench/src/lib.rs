@@ -19,5 +19,6 @@
 
 pub mod figures;
 pub mod harness;
+pub mod microbench;
 
 pub use harness::{ExpConfig, Table};

@@ -1,0 +1,284 @@
+//! # lbq-check — workspace-specific static analysis
+//!
+//! A zero-dependency lint pass for this workspace, run as
+//! `cargo run -p lbq-check` (wired into `ci.sh`). It lexes every `.rs`
+//! file with a hand-rolled scanner ([`lexer`]) and enforces five rules
+//! ([`rules`]) that `rustc`/`clippy` cannot express project-wide:
+//! floating-point comparison hygiene, centralized epsilons, panic-free
+//! library code, checked id/index casts in the R-tree arena, and doc
+//! coverage of the public geometry/server API.
+//!
+//! Exit status is non-zero when any diagnostic survives the allowlist
+//! (`// lbq-check: allow(<rule>)` on the offending line or the line
+//! above). See DESIGN.md §Correctness tooling.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{check_source, Diagnostic};
+
+use std::path::{Path, PathBuf};
+
+/// Recursively collects every `.rs` file under `root`, skipping
+/// `target/` and hidden directories. Paths come back sorted and
+/// workspace-relative with `/` separators.
+pub fn workspace_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name != "target" && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Runs every rule over every `.rs` file under `root` and returns the
+/// surviving diagnostics, sorted by file and line.
+pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    for path in workspace_rs_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)?;
+        out.extend(check_source(&rel, &src));
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(path: &str, src: &str) -> Vec<&'static str> {
+        check_source(path, src)
+            .into_iter()
+            .map(|d| d.rule)
+            .collect()
+    }
+
+    const LIB: &str = "crates/core/src/x.rs";
+
+    // ---------------------------------------------------- float-eq
+
+    #[test]
+    fn float_eq_hits_literal_comparisons() {
+        assert_eq!(
+            rules_hit(LIB, "fn f(a: f64) -> bool { a == 0.5 }"),
+            ["float-eq"]
+        );
+        assert_eq!(
+            rules_hit(LIB, "fn f(a: f64) -> bool { 1e-3 != a }"),
+            ["float-eq"]
+        );
+        assert_eq!(
+            rules_hit(LIB, "fn f(a: f64) -> bool { a == -1.0 }"),
+            ["float-eq"]
+        );
+        assert_eq!(
+            rules_hit(LIB, "fn f(a: f64) -> bool { a == f64::INFINITY }"),
+            ["float-eq"]
+        );
+        assert_eq!(
+            rules_hit(LIB, "fn f(a: f64) -> bool { f64::NAN == a }"),
+            ["float-eq"]
+        );
+    }
+
+    #[test]
+    fn float_eq_ignores_integers_and_the_approved_module() {
+        assert!(rules_hit(LIB, "fn f(a: u64) -> bool { a == 5 }").is_empty());
+        assert!(rules_hit(LIB, "fn f(a: u64) -> bool { a != 0x1e }").is_empty());
+        assert!(rules_hit(
+            rules::APPROVED_EPS_MODULE,
+            "fn approx_eq(a: f64, b: f64) -> bool { a == b || (a - b).abs() < 1e-9 }"
+        )
+        .is_empty());
+        // Comparison text inside strings and comments is inert.
+        assert!(rules_hit(LIB, "// a == 1.0\nfn f() -> &'static str { \"x == 2.5\" }").is_empty());
+    }
+
+    // ------------------------------------------------ local-epsilon
+
+    #[test]
+    fn local_epsilon_hits_the_magic_range() {
+        assert_eq!(rules_hit(LIB, "const E: f64 = 1e-9;"), ["local-epsilon"]);
+        assert_eq!(
+            rules_hit(LIB, "const E: f64 = 0.000001;"),
+            ["local-epsilon"]
+        );
+        assert_eq!(rules_hit(LIB, "const E: f64 = 2.5e-7;"), ["local-epsilon"]);
+    }
+
+    #[test]
+    fn local_epsilon_misses_out_of_range_and_test_code() {
+        assert!(rules_hit(LIB, "const E: f64 = 1e-3;").is_empty());
+        assert!(rules_hit(LIB, "const E: f64 = 1e-13;").is_empty());
+        assert!(rules_hit(rules::APPROVED_EPS_MODULE, "pub const EPS: f64 = 1e-9;").is_empty());
+        assert!(rules_hit("crates/core/tests/t.rs", "const E: f64 = 1e-9;").is_empty());
+        assert!(rules_hit(LIB, "#[cfg(test)]\nmod tests { const E: f64 = 1e-9; }").is_empty());
+    }
+
+    // ----------------------------------------------- no-unwrap-core
+
+    #[test]
+    fn no_unwrap_hits_library_code() {
+        assert_eq!(
+            rules_hit(LIB, "fn f(x: Option<u8>) { x.unwrap(); }"),
+            ["no-unwrap-core"]
+        );
+        assert_eq!(
+            rules_hit(LIB, "fn f(x: Option<u8>) { x.expect(\"set\"); }"),
+            ["no-unwrap-core"]
+        );
+        assert_eq!(
+            rules_hit(LIB, "fn f() { panic!(\"boom\"); }"),
+            ["no-unwrap-core"]
+        );
+    }
+
+    #[test]
+    fn no_unwrap_misses_tests_other_crates_and_lookalikes() {
+        assert!(rules_hit(
+            "crates/core/tests/t.rs",
+            "fn f(x: Option<u8>) { x.unwrap(); }"
+        )
+        .is_empty());
+        assert!(rules_hit("crates/core/benches/b.rs", "fn f() { panic!(); }").is_empty());
+        assert!(rules_hit(
+            "crates/data/src/lib.rs",
+            "fn f(x: Option<u8>) { x.unwrap(); }"
+        )
+        .is_empty());
+        assert!(rules_hit(LIB, "fn f(x: Option<u8>) -> u8 { x.unwrap_or(3) }").is_empty());
+        assert!(rules_hit(
+            LIB,
+            "fn f(x: Option<u8>) { let _ = x.unwrap_or_default(); }"
+        )
+        .is_empty());
+        assert!(rules_hit(
+            LIB,
+            "fn f(x: Option<u8>) { #[cfg(test)] mod t { fn g(x: Option<u8>) { x.unwrap(); } } }"
+        )
+        .is_empty());
+    }
+
+    // --------------------------------------------------- lossy-cast
+
+    #[test]
+    fn lossy_cast_hits_narrowing_in_rtree() {
+        const RT: &str = "crates/rtree/src/tree.rs";
+        assert_eq!(
+            rules_hit(RT, "fn f(n: u64) -> u32 { n as u32 }"),
+            ["lossy-cast"]
+        );
+        assert_eq!(
+            rules_hit(RT, "fn f(n: u64) -> usize { n as usize }"),
+            ["lossy-cast"]
+        );
+        assert_eq!(
+            rules_hit(RT, "fn f(n: usize) -> NodeId { n as NodeId }"),
+            ["lossy-cast"]
+        );
+    }
+
+    #[test]
+    fn lossy_cast_misses_widening_and_other_crates() {
+        const RT: &str = "crates/rtree/src/tree.rs";
+        assert!(rules_hit(RT, "fn f(n: u32) -> u64 { n as u64 }").is_empty());
+        assert!(rules_hit(RT, "fn f(n: u32) -> f64 { n as f64 }").is_empty());
+        assert!(rules_hit(RT, "use std::fmt as f;").is_empty());
+        assert!(rules_hit(LIB, "fn f(n: u64) -> u32 { n as u32 }").is_empty());
+    }
+
+    // ------------------------------------------------------ pub-doc
+
+    #[test]
+    fn pub_doc_hits_undocumented_items() {
+        assert_eq!(rules_hit(LIB, "pub fn f() {}"), ["pub-doc"]);
+        assert_eq!(rules_hit(LIB, "pub struct S;"), ["pub-doc"]);
+        assert_eq!(
+            rules_hit(LIB, "#[derive(Debug)]\npub struct S;"),
+            ["pub-doc"]
+        );
+    }
+
+    #[test]
+    fn pub_doc_accepts_documented_and_restricted_items() {
+        assert!(rules_hit(LIB, "/// Does f.\npub fn f() {}").is_empty());
+        assert!(rules_hit(LIB, "/// S.\n#[derive(Debug)]\npub struct S;").is_empty());
+        assert!(rules_hit(LIB, "/** S */\npub struct S;").is_empty());
+        assert!(rules_hit(LIB, "pub(crate) fn f() {}").is_empty());
+        assert!(rules_hit(LIB, "fn f() {}").is_empty());
+        // Only fn/struct are covered.
+        assert!(rules_hit(LIB, "pub mod m {}\npub use m as n;").is_empty());
+        // Outside the doc-mandatory crates.
+        assert!(rules_hit("crates/hist/src/lib.rs", "pub fn f() {}").is_empty());
+        // Doc comment above an attribute still counts.
+        assert!(rules_hit(LIB, "/// Doc.\n#[inline]\npub const fn f() -> u8 { 0 }").is_empty());
+    }
+
+    // ---------------------------------------------------- allowlist
+
+    #[test]
+    fn allow_comment_suppresses_same_line_and_line_above() {
+        let same = "fn f(x: Option<u8>) { x.unwrap(); } // lbq-check: allow(no-unwrap-core)";
+        assert!(rules_hit(LIB, same).is_empty());
+        let above = "// lbq-check: allow(no-unwrap-core) — invariant: filled above\n\
+                     fn f(x: Option<u8>) { x.unwrap(); }";
+        assert!(rules_hit(LIB, above).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_is_rule_specific_and_local() {
+        let wrong_rule = "fn f(x: Option<u8>) { x.unwrap(); } // lbq-check: allow(float-eq)";
+        assert_eq!(rules_hit(LIB, wrong_rule), ["no-unwrap-core"]);
+        let too_far = "// lbq-check: allow(no-unwrap-core)\n\n\
+                       fn f(x: Option<u8>) { x.unwrap(); }";
+        assert_eq!(rules_hit(LIB, too_far), ["no-unwrap-core"]);
+    }
+
+    #[test]
+    fn allow_comment_supports_lists() {
+        let src = "// lbq-check: allow(local-epsilon, float-eq)\n\
+                   fn f(a: f64) -> bool { a == 1e-9 }";
+        assert!(rules_hit(LIB, src).is_empty());
+    }
+
+    // -------------------------------------------------- diagnostics
+
+    #[test]
+    fn diagnostics_carry_file_and_line() {
+        let d = check_source(LIB, "fn a() {}\nfn b(x: Option<u8>) { x.unwrap(); }\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].file, LIB);
+        assert_eq!(d[0].line, 2);
+        assert_eq!(
+            format!("{}", d[0]),
+            format!("{LIB}:2: [no-unwrap-core] {}", d[0].message)
+        );
+    }
+
+    #[test]
+    fn file_walker_finds_this_file() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let files = workspace_rs_files(root).expect("walk");
+        assert!(files.iter().any(|p| p.ends_with("src/lib.rs")));
+        assert!(files.iter().any(|p| p.ends_with("src/lexer.rs")));
+    }
+}

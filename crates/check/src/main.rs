@@ -1,0 +1,38 @@
+//! `lbq-check` binary: lint the workspace (or a directory passed as the
+//! first argument) and exit non-zero when violations survive the
+//! allowlist. See the crate docs in `lib.rs` for the rule set.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // Default to the workspace root (the parent of this crate's
+    // manifest dir) so `cargo run -p lbq-check` works from anywhere.
+    let root = std::env::args().nth(1).map_or_else(
+        || {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .parent()
+                .and_then(|p| p.parent())
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("."))
+        },
+        PathBuf::from,
+    );
+    match lbq_check::check_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("lbq-check: ok ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("lbq-check: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("lbq-check: io error under {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}

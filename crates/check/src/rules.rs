@@ -1,0 +1,395 @@
+//! The five workspace lint rules, each a pure function over the token
+//! stream of one file.
+//!
+//! | rule | meaning |
+//! |------|---------|
+//! | `float-eq` | no `==`/`!=` against floating-point operands outside the approved epsilon module |
+//! | `local-epsilon` | no literal epsilons (1e-12 ..= 1e-6) outside the approved epsilon module |
+//! | `no-unwrap-core` | no `.unwrap()` / `.expect()` / `panic!` in library code of the core crates |
+//! | `lossy-cast` | no narrowing `as` casts in `crates/rtree` — use `try_into` or justify |
+//! | `pub-doc` | every `pub fn` / `pub struct` in `crates/geom` and `crates/core` carries a doc comment |
+//!
+//! Any finding can be silenced with a justification comment on the same
+//! line or the line directly above:
+//!
+//! ```text
+//! // lbq-check: allow(local-epsilon) — Box–Muller guard, not a tolerance
+//! ```
+
+use crate::lexer::{float_value, is_float_literal, lex, Token, TokenKind};
+use std::collections::HashMap;
+
+/// All rule names, as used in diagnostics and allow comments.
+pub const RULE_NAMES: [&str; 5] = [
+    "float-eq",
+    "local-epsilon",
+    "no-unwrap-core",
+    "lossy-cast",
+    "pub-doc",
+];
+
+/// The one module allowed to define epsilons and compare floats exactly.
+pub const APPROVED_EPS_MODULE: &str = "crates/geom/src/lib.rs";
+
+/// Crates whose library code must be panic-free (`no-unwrap-core`).
+pub const PANIC_FREE_CRATES: [&str; 5] = ["geom", "rtree", "voronoi", "hist", "core"];
+
+/// Crates whose public items must be documented (`pub-doc`).
+pub const DOC_CRATES: [&str; 2] = ["geom", "core"];
+
+/// One finding: rule, location, human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which rule fired (one of [`RULE_NAMES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Lexes one file and runs every rule that applies to its path.
+/// `path` must be workspace-relative with `/` separators.
+pub fn check_source(path: &str, src: &str) -> Vec<Diagnostic> {
+    let tokens = lex(src);
+    let allows = collect_allows(&tokens);
+    let test_from = test_region_start(&tokens);
+    let ctx = FileCtx {
+        path,
+        tokens: &tokens,
+        test_from,
+    };
+
+    let mut out = Vec::new();
+    if path != APPROVED_EPS_MODULE {
+        float_eq(&ctx, &mut out);
+        local_epsilon(&ctx, &mut out);
+    }
+    no_unwrap_core(&ctx, &mut out);
+    lossy_cast(&ctx, &mut out);
+    pub_doc(&ctx, &mut out);
+
+    out.retain(|d| !is_allowed(&allows, d.rule, d.line));
+    out.sort_by_key(|d| d.line);
+    out
+}
+
+struct FileCtx<'a> {
+    path: &'a str,
+    tokens: &'a [Token],
+    /// First line of a top-level `#[cfg(test)]` region, if any; the
+    /// region is assumed to extend to end-of-file (the workspace keeps
+    /// test modules last).
+    test_from: Option<u32>,
+}
+
+impl FileCtx<'_> {
+    /// Crate name when the file is library source (`crates/<c>/src/…`).
+    fn lib_crate(&self) -> Option<&str> {
+        let rest = self.path.strip_prefix("crates/")?;
+        let (krate, rest) = rest.split_once('/')?;
+        rest.starts_with("src/").then_some(krate)
+    }
+
+    /// Test-like source: under `tests/`, `benches/`, `examples/`, or
+    /// inside the file's trailing `#[cfg(test)]` region.
+    fn is_test_code(&self, line: u32) -> bool {
+        let p = self.path;
+        p.starts_with("tests/")
+            || p.contains("/tests/")
+            || p.contains("/benches/")
+            || p.contains("/examples/")
+            || self.test_from.is_some_and(|t| line >= t)
+    }
+}
+
+// -------------------------------------------------------- allowlist
+
+/// Extracts `// lbq-check: allow(rule, rule)` directives, keyed by line.
+fn collect_allows(tokens: &[Token]) -> HashMap<u32, Vec<String>> {
+    let mut map: HashMap<u32, Vec<String>> = HashMap::new();
+    for t in tokens {
+        if !t.is_comment() {
+            continue;
+        }
+        let Some(pos) = t.text.find("lbq-check:") else {
+            continue;
+        };
+        let rest = &t.text[pos + "lbq-check:".len()..];
+        let Some(open) = rest.find("allow(") else {
+            continue;
+        };
+        let inner = &rest[open + "allow(".len()..];
+        let Some(close) = inner.find(')') else {
+            continue;
+        };
+        let rules = inner[..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty());
+        map.entry(t.line).or_default().extend(rules);
+    }
+    map
+}
+
+/// A finding at `line` is silenced by a directive on that line or the
+/// line directly above.
+fn is_allowed(allows: &HashMap<u32, Vec<String>>, rule: &str, line: u32) -> bool {
+    [line, line.saturating_sub(1)]
+        .iter()
+        .any(|l| allows.get(l).is_some_and(|rs| rs.iter().any(|r| r == rule)))
+}
+
+/// Line of the first top-level `#[cfg(test)]` attribute.
+fn test_region_start(tokens: &[Token]) -> Option<u32> {
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    code.windows(5).find_map(|w| {
+        (w[0].text == "#"
+            && w[1].text == "["
+            && w[2].text == "cfg"
+            && w[3].text == "("
+            && w[4].text == "test")
+            .then_some(w[0].line)
+    })
+}
+
+// -------------------------------------------------------- rules
+
+/// `float-eq`: `==`/`!=` with a float literal or `f32`/`f64` path on
+/// either side. (Type-aware cases are covered by `clippy::float_cmp`,
+/// which the workspace denies; this catches the literal-adjacent subset
+/// without needing type inference.)
+fn float_eq(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let code: Vec<&Token> = ctx.tokens.iter().filter(|t| !t.is_comment()).collect();
+    for (i, tok) in code.iter().enumerate() {
+        if tok.kind != TokenKind::Punct || (tok.text != "==" && tok.text != "!=") {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| code[p]);
+        let next = code.get(i + 1).copied();
+        // Unary minus on the right-hand side: `== -1.0`.
+        let next_val = match next {
+            Some(t) if t.text == "-" => code.get(i + 2).copied(),
+            other => other,
+        };
+        let float_lit = |t: Option<&Token>| {
+            t.is_some_and(|t| t.kind == TokenKind::Number && is_float_literal(&t.text))
+        };
+        let float_path = |t: Option<&Token>| {
+            t.is_some_and(|t| t.kind == TokenKind::Ident && (t.text == "f64" || t.text == "f32"))
+        };
+        // `f64::INFINITY == x`: look a few tokens back across `f64::CONST`.
+        let prev_path = i >= 4
+            && float_path(Some(code[i - 4]))
+            && code[i - 3].text == ":"
+            && code[i - 2].text == ":";
+        if float_lit(prev) || float_lit(next_val) || float_path(next) || prev_path {
+            out.push(Diagnostic {
+                rule: "float-eq",
+                file: ctx.path.to_string(),
+                line: tok.line,
+                message: format!(
+                    "floating-point `{}` comparison; use lbq_geom::approx_eq or an \
+                     explicit EPS tolerance",
+                    tok.text
+                ),
+            });
+        }
+    }
+}
+
+/// `local-epsilon`: literal float in `[1e-12, 1e-6]` in library code.
+fn local_epsilon(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if ctx.lib_crate().is_none() {
+        return;
+    }
+    for tok in ctx.tokens {
+        if tok.kind != TokenKind::Number || ctx.is_test_code(tok.line) {
+            continue;
+        }
+        let Some(v) = float_value(&tok.text) else {
+            continue;
+        };
+        // lbq-check: allow(local-epsilon) — this range *defines* the rule
+        if (1e-12..=1e-6).contains(&v) {
+            out.push(Diagnostic {
+                rule: "local-epsilon",
+                file: ctx.path.to_string(),
+                line: tok.line,
+                message: format!(
+                    "literal epsilon `{}`; use the shared constants in lbq_geom \
+                     (EPS family) or justify with an allow comment",
+                    tok.text
+                ),
+            });
+        }
+    }
+}
+
+/// `no-unwrap-core`: `.unwrap()`, `.expect(`, `panic!` in library code
+/// of the panic-free crates.
+fn no_unwrap_core(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    match ctx.lib_crate() {
+        Some(k) if PANIC_FREE_CRATES.contains(&k) => {}
+        _ => return,
+    }
+    let code: Vec<&Token> = ctx.tokens.iter().filter(|t| !t.is_comment()).collect();
+    for (i, tok) in code.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || ctx.is_test_code(tok.line) {
+            continue;
+        }
+        let prev_dot = i > 0 && code[i - 1].text == ".";
+        let next = code.get(i + 1).map(|t| t.text.as_str());
+        let hit = match tok.text.as_str() {
+            "unwrap" | "expect" => prev_dot && next == Some("("),
+            "panic" => next == Some("!"),
+            _ => false,
+        };
+        if hit {
+            out.push(Diagnostic {
+                rule: "no-unwrap-core",
+                file: ctx.path.to_string(),
+                line: tok.line,
+                message: format!(
+                    "`{}` in library code; return an error/Option or justify the \
+                     invariant with an allow comment",
+                    tok.text
+                ),
+            });
+        }
+    }
+}
+
+/// `lossy-cast`: narrowing `as` casts inside `crates/rtree` — the crate
+/// that juggles `u32` node ids against `usize` arena indices.
+fn lossy_cast(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if ctx.lib_crate() != Some("rtree") {
+        return;
+    }
+    const NARROW: [&str; 7] = ["u8", "u16", "u32", "i8", "i16", "i32", "NodeId"];
+    let code: Vec<&Token> = ctx.tokens.iter().filter(|t| !t.is_comment()).collect();
+    for (i, tok) in code.iter().enumerate() {
+        if tok.text != "as" || tok.kind != TokenKind::Ident || ctx.is_test_code(tok.line) {
+            continue;
+        }
+        // `usize` is narrowing only in the abstract (from u64); flag it
+        // too — the point is to route every id<->index hop through the
+        // checked helpers.
+        let Some(target) = code.get(i + 1) else {
+            continue;
+        };
+        if NARROW.contains(&target.text.as_str()) || target.text == "usize" {
+            out.push(Diagnostic {
+                rule: "lossy-cast",
+                file: ctx.path.to_string(),
+                line: tok.line,
+                message: format!(
+                    "narrowing `as {}` cast; use try_into / the checked id helpers \
+                     or justify with an allow comment",
+                    target.text
+                ),
+            });
+        }
+    }
+}
+
+/// `pub-doc`: undocumented `pub fn` / `pub struct` in the doc-mandatory
+/// crates.
+fn pub_doc(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    match ctx.lib_crate() {
+        Some(k) if DOC_CRATES.contains(&k) => {}
+        _ => return,
+    }
+    let toks = ctx.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || tok.text != "pub" || ctx.is_test_code(tok.line) {
+            continue;
+        }
+        // Restricted visibility (pub(crate), pub(super)) is not public API.
+        let code_after: Vec<(usize, &Token)> = toks
+            .iter()
+            .enumerate()
+            .skip(i + 1)
+            .filter(|(_, t)| !t.is_comment())
+            .take(4)
+            .collect();
+        if code_after.first().is_some_and(|(_, t)| t.text == "(") {
+            continue;
+        }
+        // Walk over qualifiers to the item keyword.
+        let mut item = None;
+        for (_, t) in &code_after {
+            match t.text.as_str() {
+                "const" | "unsafe" | "async" | "extern" => continue,
+                "fn" | "struct" => {
+                    item = Some(t.text.clone());
+                    break;
+                }
+                _ => break,
+            }
+        }
+        let Some(item) = item else { continue };
+        let name = code_after
+            .iter()
+            .skip_while(|(_, t)| t.text != item)
+            .nth(1)
+            .map(|(_, t)| t.text.clone())
+            .unwrap_or_default();
+        if !has_doc_before(toks, i) {
+            out.push(Diagnostic {
+                rule: "pub-doc",
+                file: ctx.path.to_string(),
+                line: tok.line,
+                message: format!("public {item} `{name}` has no doc comment"),
+            });
+        }
+    }
+}
+
+/// Walks backwards from the token before `pub_idx`, skipping attributes
+/// (`#[…]`) and plain comments, and reports whether a doc comment is
+/// attached.
+fn has_doc_before(toks: &[Token], pub_idx: usize) -> bool {
+    let mut j = pub_idx;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_doc_comment() {
+            return true;
+        }
+        if t.is_comment() {
+            continue;
+        }
+        if t.text == "]" {
+            // Skip backwards over the attribute's bracket group.
+            let mut depth = 1usize;
+            while j > 0 && depth > 0 {
+                j -= 1;
+                match toks[j].text.as_str() {
+                    "]" => depth += 1,
+                    "[" => depth -= 1,
+                    _ => {}
+                }
+            }
+            // Consume the leading `#` (and `!` of inner attributes).
+            while j > 0 && (toks[j - 1].text == "#" || toks[j - 1].text == "!") {
+                j -= 1;
+            }
+            continue;
+        }
+        return false;
+    }
+    false
+}

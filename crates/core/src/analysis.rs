@@ -100,6 +100,7 @@ fn nn_validity_area_1(n: f64) -> f64 {
     let r_max = (30.0 / (n * PI)).sqrt();
     let xi_max = 5.0 / n.sqrt();
     let survival = |xi: f64| -> f64 {
+        // lbq-check: allow(float-eq) — exact sentinel for the zero-travel case
         if xi == 0.0 {
             return 1.0;
         }
@@ -148,7 +149,10 @@ pub fn circle_overlap_area(r1: f64, r2: f64, d: f64) -> f64 {
     let t1 = a1.acos();
     let t2 = a2.acos();
     r1 * r1 * t1 + r2 * r2 * t2
-        - 0.5 * ((-d + r1 + r2) * (d + r1 - r2) * (d - r1 + r2) * (d + r1 + r2)).max(0.0).sqrt()
+        - 0.5
+            * ((-d + r1 + r2) * (d + r1 - r2) * (d - r1 + r2) * (d + r1 + r2))
+                .max(0.0)
+                .sqrt()
 }
 
 /// Expected inner-validity-rectangle extents of a window query
@@ -174,7 +178,11 @@ impl RtreeCostModel {
     /// Model for a tree built like the paper's (204-entry pages at 70%
     /// fill).
     pub fn paper(n: f64) -> Self {
-        RtreeCostModel { n, leaf_occupancy: 204.0 * 0.7, fanout: 204.0 * 0.7 }
+        RtreeCostModel {
+            n,
+            leaf_occupancy: 204.0 * 0.7,
+            fanout: 204.0 * 0.7,
+        }
     }
 
     /// `(node_count, node_extent)` per level, level 0 = leaves, root
@@ -243,8 +251,7 @@ mod tests {
         assert!((circle_overlap_area(1.0, 1.0, 1.0) - lens).abs() < 1e-9);
         // Symmetry.
         assert!(
-            (circle_overlap_area(0.7, 1.3, 1.1) - circle_overlap_area(1.3, 0.7, 1.1)).abs()
-                < 1e-12
+            (circle_overlap_area(0.7, 1.3, 1.1) - circle_overlap_area(1.3, 0.7, 1.1)).abs() < 1e-12
         );
         // Monotone in d.
         let mut prev = circle_overlap_area(1.0, 1.5, 0.0);
@@ -313,7 +320,9 @@ mod tests {
         let model = window_validity_area(n, q, q);
         let mut s: u64 = 99;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64) / ((1u64 << 53) as f64)
         };
         let mut acc = 0.0;
@@ -336,10 +345,7 @@ mod tests {
             acc += xi * xi;
         }
         let mc = 0.5 * acc / trials as f64 * std::f64::consts::TAU;
-        assert!(
-            (model - mc).abs() / mc < 0.05,
-            "model {model} vs MC {mc}"
-        );
+        assert!((model - mc).abs() / mc < 0.05, "model {model} vs MC {mc}");
     }
 
     #[test]

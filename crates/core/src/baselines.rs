@@ -39,6 +39,7 @@ impl Sr01Cache {
             return false;
         }
         let dist_k = self.items[self.k - 1].1;
+        // lbq-check: allow(no-unwrap-core) — len ≥ 2 checked above
         let dist_m = self.items.last().expect("non-empty").1;
         2.0 * self.origin.dist(p) <= dist_m - dist_k
     }
@@ -51,11 +52,7 @@ impl Sr01Cache {
             .iter()
             .map(|(it, _)| (p.dist_sq(it.point), *it))
             .collect();
-        v.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .expect("finite distances")
-                .then(a.1.id.cmp(&b.1.id))
-        });
+        v.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.id.cmp(&b.1.id)));
         v.into_iter().take(self.k).map(|(_, it)| it).collect()
     }
 
@@ -156,7 +153,9 @@ mod tests {
     fn pseudo_random_items(n: usize, seed: u64) -> Vec<Item> {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64) / ((1u64 << 53) as f64)
         };
         (0..n)
@@ -182,10 +181,8 @@ mod tests {
             for r in [0.001, 0.005, 0.02, 0.1] {
                 let p = q + Vec2::from_angle(theta) * r;
                 if cache.valid_at(p) {
-                    let local: Vec<u64> =
-                        cache.knn_at(p).into_iter().map(|i| i.id).collect();
-                    let truth: Vec<u64> =
-                        tree.knn(p, 2).into_iter().map(|(i, _)| i.id).collect();
+                    let local: Vec<u64> = cache.knn_at(p).into_iter().map(|i| i.id).collect();
+                    let truth: Vec<u64> = tree.knn(p, 2).into_iter().map(|(i, _)| i.id).collect();
                     assert_eq!(local, truth, "at {p}");
                 }
             }

@@ -21,9 +21,8 @@
 use crate::baselines::{sr01_query, tp_query, Sr01Cache, Zl01Server};
 use crate::nn::retrieve_influence_set;
 use lbq_geom::{Point, Rect, Vec2};
+use lbq_rng::Xoshiro256ss;
 use lbq_rtree::{Item, RTree};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A random-waypoint trajectory: head toward a waypoint in fixed-length
 /// steps; on arrival draw a new waypoint.
@@ -34,7 +33,7 @@ pub fn random_waypoint(
     step_len: f64,
     seed: u64,
 ) -> Vec<Point> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x57A9);
+    let mut rng = Xoshiro256ss::seed_from_u64(seed ^ 0x57A9);
     let mut out = Vec::with_capacity(steps + 1);
     let mut cur = universe.clamp_point(start);
     out.push(cur);
@@ -43,6 +42,7 @@ pub fn random_waypoint(
         while cur.dist(waypoint) < step_len {
             waypoint = random_point(&mut rng, &universe);
         }
+        // lbq-check: allow(no-unwrap-core) — the loop above guarantees distance
         let dir = cur.to(waypoint).normalized().expect("waypoint ≠ cur");
         cur = universe.clamp_point(cur + dir * step_len);
         out.push(cur);
@@ -50,11 +50,8 @@ pub fn random_waypoint(
     out
 }
 
-fn random_point(rng: &mut StdRng, r: &Rect) -> Point {
-    Point::new(
-        rng.gen_range(r.xmin..r.xmax),
-        rng.gen_range(r.ymin..r.ymax),
-    )
+fn random_point(rng: &mut Xoshiro256ss, r: &Rect) -> Point {
+    Point::new(rng.gen_range(r.xmin..r.xmax), rng.gen_range(r.ymin..r.ymax))
 }
 
 /// Client strategy for continuous kNN monitoring.
@@ -152,10 +149,8 @@ pub fn simulate_nn(
                 };
                 if !hit {
                     report.server_queries += 1;
-                    let inner: Vec<Item> =
-                        tree.knn(pos, k).into_iter().map(|(i, _)| i).collect();
-                    let (validity, _) =
-                        retrieve_influence_set(tree, pos, &inner, universe);
+                    let inner: Vec<Item> = tree.knn(pos, k).into_iter().map(|(i, _)| i).collect();
+                    let (validity, _) = retrieve_influence_set(tree, pos, &inner, universe);
                     let result_payload = if strategy == NnStrategy::LbqDelta {
                         delta_payload(&lbq_result, &inner)
                     } else {
@@ -183,6 +178,7 @@ pub fn simulate_nn(
                 }
                 sr_cache
                     .as_ref()
+                    // lbq-check: allow(no-unwrap-core) — filled on miss above
                     .expect("just filled")
                     .knn_at(pos)
                     .into_iter()
@@ -191,6 +187,7 @@ pub fn simulate_nn(
             }
             NnStrategy::Zl01 => {
                 assert_eq!(k, 1, "[ZL01] supports single NN only");
+                // lbq-check: allow(no-unwrap-core) — strategy precondition
                 let server = zl01.expect("ZL01 strategy needs the Voronoi server");
                 let hit = match &zl_cache {
                     Some((resp, origin)) => {
@@ -202,9 +199,11 @@ pub fn simulate_nn(
                 if !hit {
                     report.server_queries += 1;
                     report.objects_shipped += 1;
+                    // lbq-check: allow(no-unwrap-core) — harness datasets are non-empty
                     let resp = server.query(pos).expect("non-empty dataset");
                     zl_cache = Some((resp, pos));
                 }
+                // lbq-check: allow(no-unwrap-core) — filled on miss above
                 vec![zl_cache.as_ref().expect("just filled").0.nn.id]
             }
             NnStrategy::Tp => {
@@ -217,7 +216,7 @@ pub fn simulate_nn(
                 let hit = match (&tp_cache, dir) {
                     (Some((_, expiry, origin, cached_dir)), Some(d)) => {
                         report.validity_checks += 1;
-                        let same_dir = cached_dir.dot(d) > 1.0 - 1e-9;
+                        let same_dir = cached_dir.dot(d) > 1.0 - lbq_geom::EPS;
                         let traveled = origin.dist(pos);
                         same_dir && expiry.is_none_or(|t| traveled < t)
                     }
@@ -226,19 +225,14 @@ pub fn simulate_nn(
                 if !hit {
                     report.server_queries += 1;
                     let d = dir.unwrap_or(Vec2::new(1.0, 0.0));
-                    let horizon =
-                        universe.width().hypot(universe.height());
+                    let horizon = universe.width().hypot(universe.height());
                     let resp = tp_query(tree, pos, d, k, horizon);
                     report.objects_shipped += resp.result.len() + 1;
-                    tp_cache = Some((
-                        resp.result.clone(),
-                        resp.expiry.map(|e| e.time),
-                        pos,
-                        d,
-                    ));
+                    tp_cache = Some((resp.result.clone(), resp.expiry.map(|e| e.time), pos, d));
                 }
                 tp_cache
                     .as_ref()
+                    // lbq-check: allow(no-unwrap-core) — filled on miss above
                     .expect("just filled")
                     .0
                     .iter()
@@ -324,14 +318,13 @@ pub fn simulate_window(
                 };
                 if !hit {
                     report.server_queries += 1;
-                    let resp =
-                        crate::window::window_with_validity(tree, pos, hx, hy, universe);
-                    report.objects_shipped +=
-                        resp.result.len() + resp.validity.influence_count();
+                    let resp = crate::window::window_with_validity(tree, pos, hx, hy, universe);
+                    report.objects_shipped += resp.result.len() + resp.validity.influence_count();
                     lbq_cache = Some((resp.validity, resp.result));
                 }
                 lbq_cache
                     .as_ref()
+                    // lbq-check: allow(no-unwrap-core) — filled on miss above
                     .expect("just filled")
                     .1
                     .iter()
@@ -346,7 +339,7 @@ pub fn simulate_window(
                 let hit = match (&tp_cache, dir) {
                     (Some((_, expiry, origin, cached_dir)), Some(d)) => {
                         report.validity_checks += 1;
-                        cached_dir.dot(d) > 1.0 - 1e-9
+                        cached_dir.dot(d) > 1.0 - lbq_geom::EPS
                             && expiry.is_none_or(|t| origin.dist(pos) < t)
                     }
                     _ => false,
@@ -354,8 +347,7 @@ pub fn simulate_window(
                 if !hit {
                     report.server_queries += 1;
                     let d = dir.unwrap_or(Vec2::new(1.0, 0.0));
-                    let result =
-                        tree.window(&lbq_geom::Rect::centered(pos, hx, hy));
+                    let result = tree.window(&lbq_geom::Rect::centered(pos, hx, hy));
                     let horizon = universe.width().hypot(universe.height());
                     let ev = tree.tp_window(pos, d, horizon, hx, hy, &result);
                     report.objects_shipped += result.len() + 1;
@@ -363,6 +355,7 @@ pub fn simulate_window(
                 }
                 tp_cache
                     .as_ref()
+                    // lbq-check: allow(no-unwrap-core) — filled on miss above
                     .expect("just filled")
                     .0
                     .iter()
@@ -388,7 +381,9 @@ mod tests {
     fn pseudo_random_items(n: usize, seed: u64) -> Vec<Item> {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64) / ((1u64 << 53) as f64)
         };
         (0..n)
@@ -454,14 +449,7 @@ mod tests {
         let traj = random_waypoint(unit(), Point::new(0.6, 0.4), 150, 0.003, 11);
         for k in [2usize, 5] {
             let lbq = simulate_nn(&tree, unit(), &traj, k, NnStrategy::Lbq, None);
-            let sr = simulate_nn(
-                &tree,
-                unit(),
-                &traj,
-                k,
-                NnStrategy::Sr01 { m: 3 * k },
-                None,
-            );
+            let sr = simulate_nn(&tree, unit(), &traj, k, NnStrategy::Sr01 { m: 3 * k }, None);
             let tp = simulate_nn(&tree, unit(), &traj, k, NnStrategy::Tp, None);
             assert!(lbq.server_queries < 151);
             assert!(sr.server_queries < 151);

@@ -48,6 +48,7 @@
 pub mod analysis;
 pub mod baselines;
 pub mod client;
+pub mod invariants;
 pub mod nn;
 pub mod region;
 pub mod window;
@@ -110,7 +111,12 @@ impl LbqServer {
         }
         let (validity, tpnn_queries) =
             nn::retrieve_influence_set(&self.tree, q, &result, self.universe);
-        NnResponse { query: q, result, validity, tpnn_queries }
+        NnResponse {
+            query: q,
+            result,
+            validity,
+            tpnn_queries,
+        }
     }
 
     /// Location-based window query (paper §4) for a client at `c` with
@@ -138,8 +144,10 @@ mod tests {
 
     #[test]
     fn empty_server_responses() {
-        let server =
-            LbqServer::new(RTree::new(RTreeConfig::tiny()), Rect::new(0.0, 0.0, 1.0, 1.0));
+        let server = LbqServer::new(
+            RTree::new(RTreeConfig::tiny()),
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+        );
         let nn = server.knn_with_validity(Point::new(0.5, 0.5), 3);
         assert!(nn.result.is_empty());
         assert_eq!(nn.tpnn_queries, 0);
@@ -159,8 +167,7 @@ mod tests {
             Item::new(Point::new(5.0, 0.0), 3),
             Item::new(Point::new(5.0, 10.0), 4),
         ];
-        let server =
-            LbqServer::new(RTree::bulk_load(items, RTreeConfig::tiny()), universe);
+        let server = LbqServer::new(RTree::bulk_load(items, RTreeConfig::tiny()), universe);
         let resp = server.knn_with_validity(Point::new(5.2, 4.9), 1);
         assert_eq!(resp.result[0].id, 0);
         assert!(resp.validity.contains(Point::new(4.0, 6.0)));

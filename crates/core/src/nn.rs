@@ -117,7 +117,7 @@ pub struct NnResponse {
 /// Tolerance for vertex identity across clips, relative to the universe
 /// scale.
 fn vertex_eps(universe: &Rect) -> f64 {
-    1e-9 * universe.width().max(universe.height()).max(1.0)
+    lbq_geom::EPS * universe.width().max(universe.height()).max(1.0)
 }
 
 /// Computes the influence set and validity region for a kNN result
@@ -148,8 +148,7 @@ pub fn retrieve_influence_set(
     let mut pairs: Vec<InfluencePair> = Vec::new();
     let mut polygon = ConvexPolygon::from_rect(&universe);
     // Vertex set V with confirmation flags.
-    let mut vertices: Vec<(Point, bool)> =
-        polygon.vertices().iter().map(|&v| (v, false)).collect();
+    let mut vertices: Vec<(Point, bool)> = polygon.vertices().iter().map(|&v| (v, false)).collect();
     let mut tpnn_count = 0usize;
 
     while let Some(idx) = vertices.iter().position(|(_, confirmed)| !confirmed) {
@@ -176,7 +175,10 @@ pub fn retrieve_influence_set(
                     // the vertex lies (numerically) on that bisector.
                     vertices[idx].1 = true;
                 } else {
-                    let pair = InfluencePair { inner: ev.partner, outer: ev.object };
+                    let pair = InfluencePair {
+                        inner: ev.partner,
+                        outer: ev.object,
+                    };
                     let clipped = polygon.clip(&pair.half_plane());
                     pairs.push(pair);
                     if clipped.is_empty() {
@@ -192,9 +194,7 @@ pub fn retrieve_influence_set(
                         .vertices()
                         .iter()
                         .map(|&nv| {
-                            let confirmed = old
-                                .iter()
-                                .any(|(ov, c)| *c && ov.dist(nv) <= eps);
+                            let confirmed = old.iter().any(|(ov, c)| *c && ov.dist(nv) <= eps);
                             (nv, confirmed)
                         })
                         .collect();
@@ -203,10 +203,13 @@ pub fn retrieve_influence_set(
             }
         }
     }
-    (
-        NnValidity { pairs, polygon, universe },
-        tpnn_count,
-    )
+    let validity = NnValidity {
+        pairs,
+        polygon,
+        universe,
+    };
+    crate::invariants::debug_validate_nn(&validity, q);
+    (validity, tpnn_count)
 }
 
 #[cfg(test)]
@@ -217,7 +220,9 @@ mod tests {
     fn pseudo_random_items(n: usize, seed: u64) -> Vec<Item> {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64) / ((1u64 << 53) as f64)
         };
         (0..n)
@@ -246,7 +251,11 @@ mod tests {
         let inner: Vec<Item> = tree.knn(q, 1).into_iter().map(|(i, _)| i).collect();
         assert_eq!(inner[0].id, 0);
         let (validity, tpnn) = retrieve_influence_set(&tree, q, &inner, universe);
-        assert!((validity.area() - 25.0).abs() < 1e-6, "area {}", validity.area());
+        assert!(
+            (validity.area() - 25.0).abs() < 1e-6,
+            "area {}",
+            validity.area()
+        );
         assert_eq!(validity.influence_count(), 4);
         assert_eq!(validity.edge_count(), 4);
         // Lemma 3.2: n_inf + n_v TPNN queries.
@@ -288,8 +297,7 @@ mod tests {
         let q = Point::new(0.4, 0.6);
         for k in [1usize, 3, 7] {
             let inner: Vec<Item> = tree.knn(q, k).into_iter().map(|(i, _)| i).collect();
-            let inner_ids: std::collections::BTreeSet<u64> =
-                inner.iter().map(|i| i.id).collect();
+            let inner_ids: std::collections::BTreeSet<u64> = inner.iter().map(|i| i.id).collect();
             let (validity, _) = retrieve_influence_set(&tree, q, &inner, unit());
             assert!(validity.contains(q), "k={k}: query inside its own region");
             // Sample a grid: inside region ⇒ same kNN set; outside (but

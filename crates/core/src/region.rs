@@ -120,12 +120,7 @@ pub struct RegionResponse {
 
 /// Evaluates a location-based circular region query at `c` with search
 /// radius `r`.
-pub fn region_with_validity(
-    tree: &RTree,
-    c: Point,
-    r: f64,
-    universe: Rect,
-) -> RegionResponse {
+pub fn region_with_validity(tree: &RTree, c: Point, r: f64, universe: Rect) -> RegionResponse {
     assert!(r > 0.0, "search radius must be positive");
     let r_sq = r * r;
     // One range query fetches the result and every possible influence
@@ -142,8 +137,7 @@ pub fn region_with_validity(
     // Deterministic result order (ascending distance, then id).
     result.sort_by(|a, b| {
         c.dist_sq(a.point)
-            .partial_cmp(&c.dist_sq(b.point))
-            .expect("finite distances")
+            .total_cmp(&c.dist_sq(b.point))
             .then(a.id.cmp(&b.id))
     });
 
@@ -170,7 +164,7 @@ pub fn region_with_validity(
     // Outer pruning: a disk D(q, r) can carve the region only if it
     // reaches it, i.e. d(c, q) < r + travel_bound. (All candidates are
     // within the 3r fetch box because travel_bound ≤ 2r.)
-    debug_assert!(travel_bound <= 2.0 * r + 1e-12);
+    debug_assert!(travel_bound <= 2.0 * r + lbq_geom::EPS_TIGHT);
     let outer_influence: Vec<Item> = outer
         .into_iter()
         .filter(|p| c.dist(p.point) < r + travel_bound)
@@ -204,7 +198,9 @@ mod tests {
     fn pseudo_random_items(n: usize, seed: u64) -> Vec<Item> {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64) / ((1u64 << 53) as f64)
         };
         (0..n)

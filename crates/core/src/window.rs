@@ -150,7 +150,7 @@ pub fn window_validity_from_result(
         }
     }
     let mut inner_rect = Rect::new(xmin.0, ymin.0, xmax.0, ymax.0);
-    debug_assert!(inner_rect.contains_eps(c, 1e-9 * universe.width().max(1.0)));
+    debug_assert!(inner_rect.contains_eps(c, lbq_geom::EPS * universe.width().max(1.0)));
     // Sides can also be bound by the universe (client cannot meaningfully
     // see beyond it); keep influence attribution only for object-bound
     // sides.
@@ -163,10 +163,26 @@ pub fn window_validity_from_result(
         }
     };
     if let Some(u) = inner_rect.intersection(&universe) {
-        push_unique(xmin.1, inner_rect.xmin >= universe.xmin, &mut inner_influence);
-        push_unique(xmax.1, inner_rect.xmax <= universe.xmax, &mut inner_influence);
-        push_unique(ymin.1, inner_rect.ymin >= universe.ymin, &mut inner_influence);
-        push_unique(ymax.1, inner_rect.ymax <= universe.ymax, &mut inner_influence);
+        push_unique(
+            xmin.1,
+            inner_rect.xmin >= universe.xmin,
+            &mut inner_influence,
+        );
+        push_unique(
+            xmax.1,
+            inner_rect.xmax <= universe.xmax,
+            &mut inner_influence,
+        );
+        push_unique(
+            ymin.1,
+            inner_rect.ymin >= universe.ymin,
+            &mut inner_influence,
+        );
+        push_unique(
+            ymax.1,
+            inner_rect.ymax <= universe.ymax,
+            &mut inner_influence,
+        );
         inner_rect = u;
     }
 
@@ -180,8 +196,7 @@ pub fn window_validity_from_result(
         inner_rect.ymax - c.y,
     );
     let candidates = tree.window(&extended);
-    let result_ids: std::collections::HashSet<u64> =
-        result.iter().map(|i| i.id).collect();
+    let result_ids: std::collections::HashSet<u64> = result.iter().map(|i| i.id).collect();
 
     // Outer influence objects: candidates whose Minkowski region
     // overlaps the inner rectangle...
@@ -200,12 +215,7 @@ pub fn window_validity_from_result(
     // This is O(m·|kept|) and collapses the pathological case of
     // boundary-overhanging windows, where thousands of same-size
     // Minkowski rects nest along a thin inner rectangle.
-    outers.sort_by(|a, b| {
-        b.1.area()
-            .partial_cmp(&a.1.area())
-            .expect("finite areas")
-            .then(a.0.id.cmp(&b.0.id))
-    });
+    outers.sort_by(|a, b| b.1.area().total_cmp(&a.1.area()).then(a.0.id.cmp(&b.0.id)));
     let mut kept: Vec<(Item, Rect)> = Vec::new();
     for (it, ov) in outers {
         if !kept.iter().any(|(_, k)| k.contains_rect(&ov)) {
@@ -217,11 +227,7 @@ pub fn window_validity_from_result(
     // dominance leaves behind; beyond the cap the influence set may be
     // slightly non-minimal, which costs bytes, never correctness.
     if kept.len() <= 64 {
-        kept.sort_by(|a, b| {
-            a.1.area()
-                .partial_cmp(&b.1.area())
-                .expect("finite areas")
-        });
+        kept.sort_by(|a, b| a.1.area().total_cmp(&b.1.area()));
         let mut keep: Vec<bool> = vec![true; kept.len()];
         for i in 0..kept.len() {
             let others: Vec<Rect> = kept
@@ -231,7 +237,8 @@ pub fn window_validity_from_result(
                 .filter_map(|(_, (_, ov))| ov.intersection(&kept[i].1))
                 .collect();
             let covered = rect_union_area(&others);
-            if covered >= kept[i].1.area() - 1e-12 * kept[i].1.area().max(1e-300) {
+            // lbq-check: allow(local-epsilon) — 1e-300 is an underflow guard, not a tolerance
+            if covered >= kept[i].1.area() - lbq_geom::EPS_TIGHT * kept[i].1.area().max(1e-300) {
                 keep[i] = false;
             }
         }
@@ -252,17 +259,19 @@ pub fn window_validity_from_result(
             .map(|it| Rect::centered(it.point, hx, hy)),
     );
 
+    let validity = WindowValidity {
+        half: (hx, hy),
+        inner_rect,
+        inner_influence,
+        outer_influence,
+        conservative,
+    };
+    crate::invariants::debug_validate_window(&validity, c);
     WindowResponse {
         query: c,
         window,
         result,
-        validity: WindowValidity {
-            half: (hx, hy),
-            inner_rect,
-            inner_influence,
-            outer_influence,
-            conservative,
-        },
+        validity,
     }
 }
 
@@ -291,17 +300,19 @@ fn empty_window_response(
         // Empty dataset: every position shows the same (empty) window.
         None => (universe, Vec::new()),
     };
+    let validity = WindowValidity {
+        half: (hx, hy),
+        inner_rect,
+        inner_influence: Vec::new(),
+        outer_influence,
+        conservative: inner_rect,
+    };
+    crate::invariants::debug_validate_window(&validity, c);
     WindowResponse {
         query: c,
         window,
         result: Vec::new(),
-        validity: WindowValidity {
-            half: (hx, hy),
-            inner_rect,
-            inner_influence: Vec::new(),
-            outer_influence,
-            conservative: inner_rect,
-        },
+        validity,
     }
 }
 
@@ -310,7 +321,9 @@ fn empty_window_response(
 /// overlapping hole, choosing the cut that keeps `c` and the most area.
 fn conservative_rect(mut rect: Rect, c: Point, holes: impl Iterator<Item = Rect>) -> Rect {
     for hole in holes {
-        let Some(ov) = hole.intersection(&rect) else { continue };
+        let Some(ov) = hole.intersection(&rect) else {
+            continue;
+        };
         if ov.area() <= 0.0 {
             continue;
         }
@@ -358,7 +371,9 @@ mod tests {
     fn pseudo_random_items(n: usize, seed: u64) -> Vec<Item> {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64) / ((1u64 << 53) as f64)
         };
         (0..n)
@@ -430,10 +445,7 @@ mod tests {
             // different.
             for i in 0..30 {
                 for j in 0..30 {
-                    let p = Point::new(
-                        (i as f64 + 0.41) / 30.0,
-                        (j as f64 + 0.59) / 30.0,
-                    );
+                    let p = Point::new((i as f64 + 0.41) / 30.0, (j as f64 + 0.59) / 30.0);
                     let res = brute_window(&items, p, hx, hy);
                     if resp.validity.contains(p) {
                         assert_eq!(
@@ -476,12 +488,8 @@ mod tests {
                 }
                 if !resp.validity.contains(p) {
                     let p2 = c + dir * (t + 2e-3); // clear the boundary band
-                    if unit().contains(p2)
-                        && resp
-                            .validity
-                            .inner_rect
-                            .contains(p2)
-                            // exited through a Minkowski hole
+                    if unit().contains(p2) && resp.validity.inner_rect.contains(p2)
+                    // exited through a Minkowski hole
                     {
                         let res = brute_window(&items, p2, hx, hy);
                         assert_ne!(res, baseline, "hole at {p2} did not change result");
@@ -499,8 +507,8 @@ mod tests {
         // the inner influence object on that side; |S_inf| stays 4-ish
         // and the exact region remains a rectangle.
         let items = vec![
-            Item::new(Point::new(5.0, 5.0), 0),  // inner, binds everything
-            Item::new(Point::new(6.2, 5.0), 1),  // outer, right side, tall overlap
+            Item::new(Point::new(5.0, 5.0), 0), // inner, binds everything
+            Item::new(Point::new(6.2, 5.0), 1), // outer, right side, tall overlap
         ];
         let tree = RTree::bulk_load(items, RTreeConfig::tiny());
         let universe = Rect::new(0.0, 0.0, 10.0, 10.0);
@@ -509,7 +517,10 @@ mod tests {
         // right part; exact region = [4,5.2]×[4,6] — a rectangle.
         assert!((resp.validity.area() - 1.2 * 2.0).abs() < 1e-9);
         let cons = resp.validity.conservative;
-        assert!((cons.area() - 1.2 * 2.0).abs() < 1e-9, "conservative is exact here");
+        assert!(
+            (cons.area() - 1.2 * 2.0).abs() < 1e-9,
+            "conservative is exact here"
+        );
         assert_eq!(resp.validity.outer_influence.len(), 1);
     }
 

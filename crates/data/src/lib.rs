@@ -27,9 +27,8 @@
 //! data point), with square window queries.
 
 use lbq_geom::{Point, Rect, Segment, Vec2};
+use lbq_rng::Xoshiro256ss;
 use lbq_rtree::Item;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A named point dataset with its universe.
 #[derive(Debug, Clone)]
@@ -58,7 +57,7 @@ impl Dataset {
 
 /// Uniformly distributed points in `universe`.
 pub fn uniform(n: usize, universe: Rect, seed: u64) -> Dataset {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256ss::seed_from_u64(seed);
     let items = (0..n)
         .map(|i| {
             Item::new(
@@ -87,7 +86,7 @@ pub fn uniform_unit(n: usize, seed: u64) -> Dataset {
 /// paper with [`gr_like`].
 pub fn gr_like_sized(n: usize, seed: u64) -> Dataset {
     let universe = Rect::new(0.0, 0.0, 800_000.0, 800_000.0);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256ss::seed_from_u64(seed);
     let mut points: Vec<Point> = Vec::with_capacity(n);
     // Roads: random-walk polylines. Road lengths are heavy-tailed, and
     // roads start preferentially near earlier roads (towns attract
@@ -106,7 +105,7 @@ pub fn gr_like_sized(n: usize, seed: u64) -> Dataset {
             let theta = rng.gen_range(0.0..std::f64::consts::TAU);
             universe.clamp_point(anchor + Vec2::from_angle(theta) * r)
         };
-        let segments = rng.gen_range(3..60);
+        let segments = rng.gen_range(3..60usize);
         let mut heading = rng.gen_range(0.0..std::f64::consts::TAU);
         let mut cur = start;
         for _ in 0..segments {
@@ -147,7 +146,7 @@ pub fn gr_like(seed: u64) -> Dataset {
 /// (meters).
 pub fn na_like_sized(n: usize, seed: u64) -> Dataset {
     let universe = Rect::new(0.0, 0.0, 7_000_000.0, 7_000_000.0);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256ss::seed_from_u64(seed);
     // Cluster centers ("metro areas"); weights Zipf with s = 1.1.
     let n_clusters = 300.max(n / 2000);
     let centers: Vec<(Point, f64)> = (0..n_clusters)
@@ -158,8 +157,8 @@ pub fn na_like_sized(n: usize, seed: u64) -> Dataset {
             );
             // Spread grows mildly with metro size: big metros sprawl,
             // but all clusters stay tight relative to the continent.
-            let spread = rng.gen_range(8_000.0..40_000.0)
-                * (1.0 + 2.0 / (1.0 + rank as f64).sqrt());
+            let spread =
+                rng.gen_range(8_000.0..40_000.0) * (1.0 + 2.0 / (1.0 + rank as f64).sqrt());
             (c, spread)
         })
         .collect();
@@ -188,6 +187,7 @@ pub fn na_like_sized(n: usize, seed: u64) -> Dataset {
                 let (c, spread) = centers[idx];
                 // Box–Muller Gaussian offsets.
                 let (u1, u2): (f64, f64) =
+                    // lbq-check: allow(local-epsilon) — excludes ln(0), not a tolerance
                     (rng.gen_range(1e-12..1.0), rng.gen_range(0.0..std::f64::consts::TAU));
                 let r = spread * (-2.0 * u1.ln()).sqrt();
                 universe.clamp_point(c + Vec2::new(r * u2.cos(), r * u2.sin()))
@@ -214,8 +214,11 @@ pub fn na_like(seed: u64) -> Dataset {
 /// universe width (the paper's "distribution conforms to the
 /// distribution of the data objects").
 pub fn query_points(data: &Dataset, count: usize, jitter_frac: f64, seed: u64) -> Vec<Point> {
-    assert!(!data.is_empty(), "cannot sample queries from an empty dataset");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+    assert!(
+        !data.is_empty(),
+        "cannot sample queries from an empty dataset"
+    );
+    let mut rng = Xoshiro256ss::seed_from_u64(seed ^ 0xC0FFEE);
     let scale = data.universe.width().max(data.universe.height()) * jitter_frac;
     (0..count)
         .map(|_| {
@@ -264,7 +267,10 @@ mod tests {
         // Rough uniformity: each quadrant holds ~25%.
         let q = Rect::new(0.0, 0.0, 0.5, 0.5);
         let in_q = d.items.iter().filter(|i| q.contains(i.point)).count();
-        assert!((in_q as f64 - 2500.0).abs() < 300.0, "quadrant count {in_q}");
+        assert!(
+            (in_q as f64 - 2500.0).abs() < 300.0,
+            "quadrant count {in_q}"
+        );
     }
 
     #[test]
@@ -298,7 +304,10 @@ mod tests {
             total += best.sqrt();
         }
         let avg_nn = total / sample.len() as f64;
-        assert!(avg_nn < 2_000.0, "street points must cluster: avg NN {avg_nn} m");
+        assert!(
+            avg_nn < 2_000.0,
+            "street points must cluster: avg NN {avg_nn} m"
+        );
     }
 
     #[test]
@@ -338,10 +347,7 @@ mod tests {
         // Each query must be near some data point (jitter is 1%).
         let max_jitter = d.universe.width() * 0.011;
         for q in qs.iter().take(50) {
-            let near = d
-                .items
-                .iter()
-                .any(|i| i.point.dist(*q) <= max_jitter);
+            let near = d.items.iter().any(|i| i.point.dist(*q) <= max_jitter);
             assert!(near, "query {q} too far from data");
         }
     }

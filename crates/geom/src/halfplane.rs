@@ -29,7 +29,11 @@ impl HalfPlane {
     pub fn new(a: f64, b: f64, c: f64) -> Self {
         let n = (a * a + b * b).sqrt();
         assert!(n > 0.0, "half-plane normal must be non-zero");
-        HalfPlane { a: a / n, b: b / n, c: c / n }
+        HalfPlane {
+            a: a / n,
+            b: b / n,
+            c: c / n,
+        }
     }
 
     /// The half-plane of points at least as close to `keep` as to
@@ -43,8 +47,7 @@ impl HalfPlane {
     pub fn bisector(keep: Point, other: Point) -> Self {
         let a = 2.0 * (other.x - keep.x);
         let b = 2.0 * (other.y - keep.y);
-        let c = (other.x * other.x + other.y * other.y)
-            - (keep.x * keep.x + keep.y * keep.y);
+        let c = (other.x * other.x + other.y * other.y) - (keep.x * keep.x + keep.y * keep.y);
         HalfPlane::new(a, b, c)
     }
 

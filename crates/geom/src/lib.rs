@@ -45,14 +45,19 @@ pub use segment::Segment;
 /// ~1e-2, far below any meaningful geometric feature of the workloads.
 pub const EPS: f64 = 1e-9;
 
+/// Tight tolerance for quantities already known to be O(1) — area
+/// ratios, normalized determinants, convergence residuals. Use [`EPS`]
+/// for anything carrying coordinate units.
+pub const EPS_TIGHT: f64 = 1e-12;
+
 /// Relative-or-absolute closeness test used throughout the workspace.
 ///
 /// Returns `true` when `a` and `b` differ by at most `EPS` absolutely or
-/// `1e-9` relatively, whichever is larger.
+/// `EPS` relatively, whichever is larger.
 #[inline]
 pub fn approx_eq(a: f64, b: f64) -> bool {
     let diff = (a - b).abs();
-    diff <= EPS || diff <= 1e-9 * a.abs().max(b.abs())
+    diff <= EPS || diff <= EPS * a.abs().max(b.abs())
 }
 
 #[cfg(test)]

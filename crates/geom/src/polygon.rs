@@ -20,23 +20,73 @@ pub struct ConvexPolygon {
 impl ConvexPolygon {
     /// Polygon from a CCW vertex list.
     ///
-    /// Debug builds assert convexity and orientation; release builds
-    /// trust the caller (all internal constructors maintain the
-    /// invariant).
+    /// Debug builds assert the full invariant ([`Self::validate`]);
+    /// release builds trust the caller (all internal constructors
+    /// maintain the invariant).
     pub fn new(vertices: Vec<Point>) -> Self {
         let poly = ConvexPolygon { vertices };
-        debug_assert!(poly.is_convex_ccw(), "vertices must be convex CCW");
+        debug_assert!(
+            poly.validate().is_ok(),
+            "invalid polygon: {:?}",
+            poly.validate()
+        );
         poly
+    }
+
+    /// Checked constructor: like [`Self::new`] but returns the violated
+    /// invariant instead of trusting the caller. This is the entry point
+    /// for vertex lists from outside the crate (deserialized wire
+    /// payloads, tests corrupting data on purpose).
+    pub fn try_new(vertices: Vec<Point>) -> Result<Self, String> {
+        let poly = ConvexPolygon { vertices };
+        poly.validate()?;
+        Ok(poly)
+    }
+
+    /// Verifies the full representation invariant, returning a
+    /// description of the first violation:
+    ///
+    /// 1. the vertex count is 0 (the empty polygon) or ≥ 3;
+    /// 2. no two cyclically adjacent vertices coincide (within
+    ///    [`crate::EPS`]);
+    /// 3. the ring is convex and counter-clockwise
+    ///    ([`Self::is_convex_ccw`]).
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.vertices.len();
+        if n == 0 {
+            return Ok(());
+        }
+        if n < 3 {
+            return Err(format!("degenerate polygon with {n} vertices"));
+        }
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            if a.dist_sq(b) <= crate::EPS * crate::EPS {
+                return Err(format!(
+                    "duplicate adjacent vertices {i} and {}: {a}",
+                    (i + 1) % n
+                ));
+            }
+        }
+        if !self.is_convex_ccw() {
+            return Err("vertex ring is not convex counter-clockwise".to_string());
+        }
+        Ok(())
     }
 
     /// The empty polygon.
     pub fn empty() -> Self {
-        ConvexPolygon { vertices: Vec::new() }
+        ConvexPolygon {
+            vertices: Vec::new(),
+        }
     }
 
     /// The polygon covering a rectangle.
     pub fn from_rect(r: &Rect) -> Self {
-        ConvexPolygon { vertices: r.corners().to_vec() }
+        ConvexPolygon {
+            vertices: r.corners().to_vec(),
+        }
     }
 
     /// Vertices in CCW order.
@@ -143,10 +193,17 @@ impl ConvexPolygon {
         }
         // Degenerate slivers (all vertices collinear within EPS) are
         // reported as empty so callers can stop refining them.
-        let poly = ConvexPolygon { vertices: dedup_ring(out) };
+        let poly = ConvexPolygon {
+            vertices: dedup_ring(out),
+        };
         if poly.vertices.len() < 3 || poly.area() <= crate::EPS * crate::EPS {
             return ConvexPolygon::empty();
         }
+        debug_assert!(
+            poly.validate().is_ok(),
+            "clip broke the polygon invariant: {:?}",
+            poly.validate()
+        );
         poly
     }
 
@@ -192,6 +249,7 @@ fn dedup_ring(mut v: Vec<Point>) -> Vec<Point> {
     v.dedup_by(|a, b| a.dist_sq(*b) <= crate::EPS * crate::EPS);
     while v.len() >= 2 {
         let first = v[0];
+        // lbq-check: allow(no-unwrap-core) — the loop guard keeps len ≥ 2
         let last = *v.last().expect("len >= 2");
         if first.dist_sq(last) <= crate::EPS * crate::EPS {
             v.pop();
@@ -282,10 +340,8 @@ mod tests {
             Point::new(5.0, 0.0),
             Point::new(5.0, 10.0),
         ];
-        let hs: Vec<HalfPlane> =
-            others.iter().map(|&a| HalfPlane::bisector(o, a)).collect();
-        let cell =
-            ConvexPolygon::from_rect(&Rect::new(0.0, 0.0, 10.0, 10.0)).clip_all(hs.iter());
+        let hs: Vec<HalfPlane> = others.iter().map(|&a| HalfPlane::bisector(o, a)).collect();
+        let cell = ConvexPolygon::from_rect(&Rect::new(0.0, 0.0, 10.0, 10.0)).clip_all(hs.iter());
         assert!(approx_eq(cell.area(), 25.0));
         let br = cell.bounding_rect().unwrap();
         assert!(approx_eq(br.xmin, 2.5) && approx_eq(br.xmax, 7.5));
@@ -326,6 +382,34 @@ mod tests {
         let c = sq.vertex_centroid().unwrap();
         assert!(sq.contains(c));
         assert!(approx_eq(c.x, 0.5) && approx_eq(c.y, 0.5));
+    }
+
+    #[test]
+    fn try_new_rejects_corrupt_vertex_lists() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        let c = Point::new(0.0, 1.0);
+        let d = Point::new(1.0, 1.0);
+        // Clockwise ring (reversed) is rejected.
+        assert!(ConvexPolygon::try_new(vec![c, b, a]).is_err());
+        // Duplicate adjacent vertex is rejected.
+        assert!(ConvexPolygon::try_new(vec![a, a, b, c]).is_err());
+        // Too few vertices.
+        assert!(ConvexPolygon::try_new(vec![a, b]).is_err());
+        // Non-convex (bowtie) ring is rejected.
+        assert!(ConvexPolygon::try_new(vec![a, d, b, c]).is_err());
+        // Valid CCW rings (and the empty polygon) pass.
+        assert!(ConvexPolygon::try_new(vec![a, b, c]).is_ok());
+        assert!(ConvexPolygon::try_new(vec![a, b, d, c]).is_ok());
+        assert!(ConvexPolygon::try_new(Vec::new()).is_ok());
+    }
+
+    #[test]
+    fn validate_agrees_with_constructors() {
+        assert!(unit_square().validate().is_ok());
+        assert!(ConvexPolygon::empty().validate().is_ok());
+        let clipped = unit_square().clip(&HalfPlane::new(1.0, 1.0, 1.0));
+        assert!(clipped.validate().is_ok());
     }
 
     #[test]

@@ -27,7 +27,12 @@ impl Rect {
     #[inline]
     pub fn new(xmin: f64, ymin: f64, xmax: f64, ymax: f64) -> Self {
         debug_assert!(xmin <= xmax && ymin <= ymax, "inverted rect bounds");
-        Rect { xmin, ymin, xmax, ymax }
+        Rect {
+            xmin,
+            ymin,
+            xmax,
+            ymax,
+        }
     }
 
     /// The degenerate rectangle containing exactly `p`.
@@ -420,10 +425,7 @@ mod tests {
     fn clamp() {
         let r = unit();
         assert_eq!(r.clamp_point(Point::new(2.0, -1.0)), Point::new(1.0, 0.0));
-        assert_eq!(
-            r.clamp_point(Point::new(0.3, 0.7)),
-            Point::new(0.3, 0.7)
-        );
+        assert_eq!(r.clamp_point(Point::new(0.3, 0.7)), Point::new(0.3, 0.7));
     }
 
     #[test]
@@ -432,6 +434,7 @@ mod tests {
         assert_eq!(r.inflate(1.0, 2.0), Rect::new(-1.0, -2.0, 2.0, 3.0));
         // Over-shrinking collapses to the center, never inverts.
         let collapsed = r.inflate(-5.0, -5.0);
+        // lbq-check: allow(float-eq) — collapse produces an exact 0.0
         assert!(collapsed.width() == 0.0 && collapsed.height() == 0.0);
         assert_eq!(collapsed.center(), r.center());
 

@@ -25,7 +25,7 @@ pub fn rect_union_area(rects: &[Rect]) -> f64 {
         xs.push(r.xmin);
         xs.push(r.xmax);
     }
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+    xs.sort_by(f64::total_cmp);
     xs.dedup();
 
     let mut area = 0.0;
@@ -50,10 +50,7 @@ pub fn rect_union_area(rects: &[Rect]) -> f64 {
 
 /// Area of `base − ⋃ holes` (set difference), exact.
 pub fn rect_difference_area(base: &Rect, holes: &[Rect]) -> f64 {
-    let clipped: Vec<Rect> = holes
-        .iter()
-        .filter_map(|h| base.intersection(h))
-        .collect();
+    let clipped: Vec<Rect> = holes.iter().filter_map(|h| base.intersection(h)).collect();
     (base.area() - rect_union_area(&clipped)).max(0.0)
 }
 
@@ -62,7 +59,7 @@ fn interval_union_len(intervals: &mut [(f64, f64)]) -> f64 {
     if intervals.is_empty() {
         return 0.0;
     }
-    intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite coordinates"));
+    intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut total = 0.0;
     let (mut lo, mut hi) = intervals[0];
     for &(a, b) in &intervals[1..] {
@@ -86,10 +83,7 @@ mod tests {
     fn empty_union() {
         assert_eq!(rect_union_area(&[]), 0.0);
         // Degenerate rectangles contribute nothing.
-        assert_eq!(
-            rect_union_area(&[Rect::new(0.0, 0.0, 0.0, 5.0)]),
-            0.0
-        );
+        assert_eq!(rect_union_area(&[Rect::new(0.0, 0.0, 0.0, 5.0)]), 0.0);
     }
 
     #[test]
@@ -113,29 +107,20 @@ mod tests {
     #[test]
     fn overlapping_rects() {
         // Two unit squares overlapping in a 0.5×1 strip.
-        let rs = [
-            Rect::new(0.0, 0.0, 1.0, 1.0),
-            Rect::new(0.5, 0.0, 1.5, 1.0),
-        ];
+        let rs = [Rect::new(0.0, 0.0, 1.0, 1.0), Rect::new(0.5, 0.0, 1.5, 1.0)];
         assert!(approx_eq(rect_union_area(&rs), 1.5));
     }
 
     #[test]
     fn contained_rect_free() {
-        let rs = [
-            Rect::new(0.0, 0.0, 4.0, 4.0),
-            Rect::new(1.0, 1.0, 2.0, 2.0),
-        ];
+        let rs = [Rect::new(0.0, 0.0, 4.0, 4.0), Rect::new(1.0, 1.0, 2.0, 2.0)];
         assert!(approx_eq(rect_union_area(&rs), 16.0));
     }
 
     #[test]
     fn plus_shape() {
         // Horizontal 3×1 and vertical 1×3 bars crossing in a unit cell.
-        let rs = [
-            Rect::new(0.0, 1.0, 3.0, 2.0),
-            Rect::new(1.0, 0.0, 2.0, 3.0),
-        ];
+        let rs = [Rect::new(0.0, 1.0, 3.0, 2.0), Rect::new(1.0, 0.0, 2.0, 3.0)];
         assert!(approx_eq(rect_union_area(&rs), 5.0));
     }
 
@@ -156,10 +141,7 @@ mod tests {
     #[test]
     fn difference_overlapping_holes_not_double_counted() {
         let base = Rect::new(0.0, 0.0, 4.0, 2.0);
-        let holes = [
-            Rect::new(0.0, 0.0, 2.0, 2.0),
-            Rect::new(1.0, 0.0, 3.0, 2.0),
-        ];
+        let holes = [Rect::new(0.0, 0.0, 2.0, 2.0), Rect::new(1.0, 0.0, 3.0, 2.0)];
         // Union of holes inside base covers [0,3]×[0,2] = 6.
         assert!(approx_eq(rect_difference_area(&base, &holes), 2.0));
     }
@@ -179,7 +161,9 @@ mod tests {
         let mut rects = Vec::new();
         let mut state: u64 = 0x9E3779B97F4A7C15;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         };
         for _ in 0..12 {

@@ -77,7 +77,7 @@ impl Minskew {
         let w = universe.width();
         let h = universe.height();
         for p in points {
-            debug_assert!(universe.contains_eps(*p, 1e-9 * w.max(h)));
+            debug_assert!(universe.contains_eps(*p, lbq_geom::EPS * w.max(h)));
             let cx = (((p.x - universe.xmin) / w * g as f64) as usize).min(g - 1);
             let cy = (((p.y - universe.ymin) / h * g as f64) as usize).min(g - 1);
             cells[cy * g + cx] += 1.0;
@@ -86,7 +86,12 @@ impl Minskew {
         // Prefix sums over the grid for O(1) block count/sq-count sums.
         let pre = Prefix::new(&cells, g);
 
-        let mut blocks = vec![Block { c0: 0, c1: g, r0: 0, r1: g }];
+        let mut blocks = vec![Block {
+            c0: 0,
+            c1: g,
+            r0: 0,
+            r1: g,
+        }];
         // Greedy: always apply the globally best skew-reducing split.
         while blocks.len() < bucket_budget {
             let mut best: Option<(f64, usize, Block, Block)> = None;
@@ -210,6 +215,7 @@ impl Minskew {
             .find(|b| b.rect.contains(q))
             .map(|b| 0.5 * (b.rect.width().min(b.rect.height())))
             .unwrap_or(self.universe.width() / 100.0)
+            // lbq-check: allow(local-epsilon) — probe floor, not a tolerance
             .max(self.universe.width() * 1e-6);
         let mut half = start;
         let max_half = self.universe.width().max(self.universe.height());
@@ -278,6 +284,7 @@ impl Prefix {
     /// Spatial skew of a block: Σ (nᵢ − n̄)² = Σ nᵢ² − (Σ nᵢ)²/cells.
     fn skew(&self, b: &Block) -> f64 {
         let cells = ((b.r1 - b.r0) * (b.c1 - b.c0)) as f64;
+        // lbq-check: allow(float-eq) — integer-valued cast, 0.0 is exact
         if cells == 0.0 {
             return 0.0;
         }
@@ -326,7 +333,9 @@ mod tests {
     fn uniform_points(n: usize, seed: u64) -> Vec<Point> {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64) / ((1u64 << 53) as f64)
         };
         (0..n).map(|_| Point::new(next(), next())).collect()
@@ -358,16 +367,10 @@ mod tests {
         let q = Rect::new(0.2, 0.3, 0.5, 0.7);
         let est = h.estimate_count(&q);
         let expect = 20000.0 * q.area();
-        assert!(
-            (est - expect).abs() / expect < 0.1,
-            "est {est} vs {expect}"
-        );
+        assert!((est - expect).abs() / expect < 0.1, "est {est} vs {expect}");
         // Effective cardinality ≈ true cardinality for uniform data.
         let n_eff = h.effective_cardinality_window(&q);
-        assert!(
-            (n_eff - 20000.0).abs() / 20000.0 < 0.15,
-            "N' = {n_eff}"
-        );
+        assert!((n_eff - 20000.0).abs() / 20000.0 < 0.15, "N' = {n_eff}");
         let n_eff_nn = h.effective_cardinality_nn(Point::new(0.5, 0.5), 1);
         assert!(
             (n_eff_nn - 20000.0).abs() / 20000.0 < 0.25,
@@ -435,13 +438,28 @@ mod tests {
     fn prefix_sums_correct() {
         let cells = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
         let p = Prefix::new(&cells, 3);
-        let all = Block { c0: 0, c1: 3, r0: 0, r1: 3 };
+        let all = Block {
+            c0: 0,
+            c1: 3,
+            r0: 0,
+            r1: 3,
+        };
         assert_eq!(p.block_sum(&all), 45.0);
         assert_eq!(p.block_sum_sq(&all), 285.0);
-        let mid = Block { c0: 1, c1: 3, r0: 1, r1: 2 };
+        let mid = Block {
+            c0: 1,
+            c1: 3,
+            r0: 1,
+            r1: 2,
+        };
         assert_eq!(p.block_sum(&mid), 11.0); // cells 5 + 6
-        // Skew of a constant block is zero.
-        let row = Block { c0: 0, c1: 1, r0: 0, r1: 1 };
+                                             // Skew of a constant block is zero.
+        let row = Block {
+            c0: 0,
+            c1: 1,
+            r0: 0,
+            r1: 1,
+        };
         assert_eq!(p.skew(&row), 0.0);
     }
 }

@@ -54,7 +54,8 @@ impl<'a> NearestIter<'a> {
         };
         let ticket = self.slots.len() as u64;
         self.slots.push(Some(entry));
-        self.heap.push(Reverse((OrdF64::new(dist_sq), ticket, kind)));
+        self.heap
+            .push(Reverse((OrdF64::new(dist_sq), ticket, kind)));
     }
 }
 
@@ -63,8 +64,10 @@ impl Iterator for NearestIter<'_> {
 
     fn next(&mut self) -> Option<(Item, f64)> {
         while let Some(Reverse((OrdF64(d_sq), ticket, _))) = self.heap.pop() {
+            // lbq-check: allow(lossy-cast) — ticket was minted from slots.len()
             let entry = self.slots[ticket as usize]
                 .take()
+                // lbq-check: allow(no-unwrap-core) — tickets are heap-unique
                 .expect("each ticket is consumed once");
             match entry {
                 QueueEntry::Item(item) => return Some((item, d_sq.sqrt())),
@@ -72,8 +75,7 @@ impl Iterator for NearestIter<'_> {
                     self.tree.access(id);
                     let node = self.tree.node(id);
                     if node.is_leaf() {
-                        let items: Vec<Item> =
-                            node.entries.iter().map(|e| e.item()).collect();
+                        let items: Vec<Item> = node.entries.iter().map(|e| e.item()).collect();
                         for item in items {
                             let d = self.q.dist_sq(item.point);
                             self.push(d, QueueEntry::Item(item));
@@ -147,8 +149,7 @@ mod tests {
         let (tree, _) = build(400, 9);
         let q = Point::new(0.1, 0.2);
         for k in [1usize, 7, 50] {
-            let browsed: Vec<u64> =
-                tree.nearest_iter(q).take(k).map(|(i, _)| i.id).collect();
+            let browsed: Vec<u64> = tree.nearest_iter(q).take(k).map(|(i, _)| i.id).collect();
             let knn: Vec<u64> = tree.knn(q, k).into_iter().map(|(i, _)| i.id).collect();
             // Same distances (ids may differ on exact ties, which the
             // generator never produces).
@@ -169,7 +170,10 @@ mod tests {
             small < large,
             "taking one neighbor ({small} NA) must cost less than 1500 ({large} NA)"
         );
-        assert!(small <= tree.height() as u64 + 4, "first item ≈ one root-leaf path");
+        assert!(
+            small <= tree.height() as u64 + 4,
+            "first item ≈ one root-leaf path"
+        );
     }
 
     #[test]

@@ -30,6 +30,7 @@ impl RTree {
         if items.is_empty() {
             return tree;
         }
+        // lbq-check: allow(lossy-cast) — fill ∈ (0, 1], product is small
         let node_cap = ((config.max_entries as f64 * fill).round() as usize)
             .clamp(config.min_entries.max(2), config.max_entries);
         tree.len = items.len();
@@ -48,6 +49,7 @@ impl RTree {
             level += 1;
         }
         tree.root = level_nodes[0].child();
+        tree.debug_validate();
         tree
     }
 }
@@ -59,21 +61,18 @@ fn pack_level(tree: &mut RTree, mut entries: Vec<Entry>, level: u32, cap: usize)
     if n <= cap {
         // Single node (possibly the root; roots may be under-filled).
         let node = Node { level, entries };
+        // lbq-check: allow(no-unwrap-core) — pack_level is never called empty
         let mbr = node.mbr().expect("non-empty pack");
         let id = tree.alloc(node);
         return vec![Entry::Child { mbr, node: id }];
     }
     let node_count = n.div_ceil(cap);
+    // lbq-check: allow(lossy-cast) — √node_count is small and non-negative
     let slice_count = (node_count as f64).sqrt().ceil() as usize;
     let slice_size = slice_count.max(1) * cap;
 
     let center = |e: &Entry| -> Point { e.mbr().center() };
-    entries.sort_by(|a, b| {
-        center(a)
-            .x
-            .partial_cmp(&center(b).x)
-            .expect("finite coordinates")
-    });
+    entries.sort_by(|a, b| center(a).x.total_cmp(&center(b).x));
 
     let min = tree.config.min_entries;
     let max = tree.config.max_entries;
@@ -87,17 +86,16 @@ fn pack_level(tree: &mut RTree, mut entries: Vec<Entry>, level: u32, cap: usize)
             take = rest.len();
         }
         let mut slice: Vec<Entry> = rest.drain(..take).collect();
-        slice.sort_by(|a, b| {
-            center(a)
-                .y
-                .partial_cmp(&center(b).y)
-                .expect("finite coordinates")
-        });
+        slice.sort_by(|a, b| center(a).y.total_cmp(&center(b).y));
         let mut remaining = slice;
         while !remaining.is_empty() {
             let take = chunk_size(remaining.len(), cap, min, max);
             let group: Vec<Entry> = remaining.drain(..take).collect();
-            let node = Node { level, entries: group };
+            let node = Node {
+                level,
+                entries: group,
+            };
+            // lbq-check: allow(no-unwrap-core) — chunk_size returns ≥ 1
             let mbr = node.mbr().expect("non-empty group");
             let id = tree.alloc(node);
             out.push(Entry::Child { mbr, node: id });
@@ -201,7 +199,7 @@ mod tests {
         assert_eq!(chunk_size(12, 6, 3, 8), 6); // clean target chunk
         assert_eq!(chunk_size(8, 6, 3, 8), 8); // tail would starve → absorb
         assert_eq!(chunk_size(7, 6, 3, 8), 7); // same
-        // target 4, min 3, max 8: remaining 5 must be absorbed (3+2 illegal).
+                                               // target 4, min 3, max 8: remaining 5 must be absorbed (3+2 illegal).
         assert_eq!(chunk_size(5, 4, 3, 8), 5);
         // Too big to absorb: leave exactly min behind.
         assert_eq!(chunk_size(10, 8, 3, 8), 7);

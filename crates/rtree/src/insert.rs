@@ -3,6 +3,7 @@
 
 use crate::node::{Entry, Item, Node, NodeId};
 use crate::tree::RTree;
+use crate::util::idx;
 use lbq_geom::{Point, Rect};
 
 /// Maximum tree height supported by the per-level reinsertion flags.
@@ -30,7 +31,13 @@ impl RTree {
         let mut reinserted = [false; MAX_LEVELS];
         self.insert_from_root(Entry::Leaf(item), 0, &mut reinserted);
         self.len += 1;
-        debug_assert!(self.nodes[self.root as usize].level < MAX_LEVELS as u32);
+        // lbq-check: allow(lossy-cast) — MAX_LEVELS is the constant 32
+        debug_assert!(self.nodes[idx(self.root)].level < MAX_LEVELS as u32);
+        // Full validation on every insert would make debug test runs
+        // O(n²); amortize by validating at powers of two.
+        if self.len.is_power_of_two() {
+            self.debug_validate();
+        }
     }
 
     /// Inserts `entry` into some node at `target_level`, handling root
@@ -59,10 +66,14 @@ impl RTree {
         let old_mbr = self
             .node(old_root)
             .mbr()
+            // lbq-check: allow(no-unwrap-core) — a node only splits on overflow
             .expect("split root cannot be empty");
         let level = self.node(old_root).level + 1;
         let mut root = Node::new_internal(level);
-        root.entries.push(Entry::Child { mbr: old_mbr, node: old_root });
+        root.entries.push(Entry::Child {
+            mbr: old_mbr,
+            node: old_root,
+        });
         root.entries.push(sibling);
         self.root = self.alloc(root);
     }
@@ -85,6 +96,7 @@ impl RTree {
             let child_mbr = self
                 .node(child)
                 .mbr()
+                // lbq-check: allow(no-unwrap-core) — insertion only adds entries
                 .expect("child emptied during insert");
             if let Entry::Child { mbr, .. } = &mut self.node_mut(node_id).entries[idx] {
                 *mbr = child_mbr;
@@ -92,9 +104,7 @@ impl RTree {
             match result {
                 Propagate::Done => {}
                 Propagate::Reinsert(..) => return result,
-                Propagate::Split(sibling) => {
-                    self.node_mut(node_id).entries.push(sibling)
-                }
+                Propagate::Split(sibling) => self.node_mut(node_id).entries.push(sibling),
             }
         }
 
@@ -104,11 +114,9 @@ impl RTree {
         // Overflow treatment (R* OT1): the first overflow at each level
         // of one logical insertion triggers forced reinsertion; later
         // overflows (and the root) split.
+        // lbq-check: allow(lossy-cast) — u32 → usize is widening here
         let lvl = node_level as usize;
-        if node_id != self.root
-            && self.config.reinsert_count > 0
-            && !reinserted[lvl]
-        {
+        if node_id != self.root && self.config.reinsert_count > 0 && !reinserted[lvl] {
             reinserted[lvl] = true;
             let evicted = self.forced_reinsert(node_id);
             return Propagate::Reinsert(evicted, node_level);
@@ -136,10 +144,9 @@ impl RTree {
                 .min_by(|&a, &b| {
                     let (ea, aa) = scored(a);
                     let (eb, ab) = scored(b);
-                    ea.partial_cmp(&eb)
-                        .expect("finite areas")
-                        .then(aa.partial_cmp(&ab).expect("finite areas"))
+                    ea.total_cmp(&eb).then(aa.total_cmp(&ab))
                 })
+                // lbq-check: allow(no-unwrap-core) — internal nodes are non-empty
                 .expect("internal node has entries");
         }
         // Children are leaves: rank by area enlargement, evaluate overlap
@@ -148,9 +155,7 @@ impl RTree {
         order.sort_by(|&a, &b| {
             let (ea, aa) = scored(a);
             let (eb, ab) = scored(b);
-            ea.partial_cmp(&eb)
-                .expect("finite areas")
-                .then(aa.partial_cmp(&ab).expect("finite areas"))
+            ea.total_cmp(&eb).then(aa.total_cmp(&ab))
         });
         order.truncate(CANDIDATES);
         let overlap_of = |i: usize, shape: &Rect| -> f64 {
@@ -170,11 +175,11 @@ impl RTree {
                 let db = overlap_of(b, &rb.union(mbr)) - overlap_of(b, &rb);
                 let (ea, aa) = scored(a);
                 let (eb, ab) = scored(b);
-                da.partial_cmp(&db)
-                    .expect("finite overlaps")
-                    .then(ea.partial_cmp(&eb).expect("finite areas"))
-                    .then(aa.partial_cmp(&ab).expect("finite areas"))
+                da.total_cmp(&db)
+                    .then(ea.total_cmp(&eb))
+                    .then(aa.total_cmp(&ab))
             })
+            // lbq-check: allow(no-unwrap-core) — order starts with ≥ 1 index
             .expect("candidate list non-empty")
     }
 
@@ -186,13 +191,14 @@ impl RTree {
         let center = self
             .node(node_id)
             .mbr()
+            // lbq-check: allow(no-unwrap-core) — reinsertion implies overflow
             .expect("overflowing node is non-empty")
             .center();
         let node = self.node_mut(node_id);
         node.entries.sort_by(|a, b| {
             let da = a.mbr().center().dist_sq(center);
             let db = b.mbr().center().dist_sq(center);
-            da.partial_cmp(&db).expect("finite distances")
+            da.total_cmp(&db)
         });
         let keep = node.entries.len() - p;
         // Tail = farthest entries; reverse so the closest evictee is
@@ -228,6 +234,7 @@ impl RTree {
                 }
             }
         }
+        // lbq-check: allow(no-unwrap-core) — the loop above always sets `best`
         let (_, axis, by_upper) = best.expect("at least one axis evaluated");
         sort_entries(&mut entries, axis, by_upper);
 
@@ -248,7 +255,11 @@ impl RTree {
 
         let second = entries.split_off(split_at);
         self.node_mut(node_id).entries = entries;
-        let mut sibling = Node { level, entries: second };
+        let mut sibling = Node {
+            level,
+            entries: second,
+        };
+        // lbq-check: allow(no-unwrap-core) — both split groups hold ≥ min entries
         let mbr = sibling.mbr().expect("split group non-empty");
         // `alloc` needs &mut self; build the node first.
         sibling.level = level;
@@ -285,6 +296,7 @@ impl RTree {
         for (entry, level) in orphans {
             self.insert_from_root(entry, level, &mut reinserted);
         }
+        self.debug_validate();
         true
     }
 
@@ -327,9 +339,7 @@ impl RTree {
                 self.node_mut(node_id).entries.remove(idx);
                 self.dealloc(child);
             } else if let Some(mbr) = self.node(child).mbr() {
-                if let Entry::Child { mbr: m, .. } =
-                    &mut self.node_mut(node_id).entries[idx]
-                {
+                if let Entry::Child { mbr: m, .. } = &mut self.node_mut(node_id).entries[idx] {
                     *m = mbr;
                 }
             }
@@ -352,9 +362,9 @@ fn sort_entries(entries: &mut [Entry], axis: usize, by_upper: bool) {
                 (_, _) => (r.ymax, r.ymin),
             }
         };
-        key(&ra)
-            .partial_cmp(&key(&rb))
-            .expect("finite MBR coordinates")
+        let (a1, a2) = key(&ra);
+        let (b1, b2) = key(&rb);
+        a1.total_cmp(&b1).then(a2.total_cmp(&b2))
     });
 }
 
@@ -442,8 +452,7 @@ mod tests {
         t.check_invariants().unwrap();
         assert_eq!(t.len(), 150);
         // Remaining items all retrievable.
-        let left: std::collections::HashSet<u64> =
-            t.iter_items().map(|i| i.id).collect();
+        let left: std::collections::HashSet<u64> = t.iter_items().map(|i| i.id).collect();
         for (i, item) in items.iter().enumerate() {
             assert_eq!(left.contains(&item.id), i % 2 == 1);
         }

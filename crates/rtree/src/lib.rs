@@ -47,9 +47,10 @@ mod tpwin;
 mod tree;
 mod util;
 
+pub use browse::NearestIter;
+pub use bulk::DEFAULT_BULK_FILL;
 pub use node::{Item, NodeId};
 pub use stats::{LruBuffer, Stats};
-pub use browse::NearestIter;
 pub use tp::{TpBound, TpEvent};
 pub use tpwin::{TpWindowChange, TpWindowEvent};
 pub use tree::RTree;

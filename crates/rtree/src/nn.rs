@@ -81,11 +81,7 @@ impl RTree {
             .into_values()
             .map(|c| (c.item, c.dist_sq.sqrt()))
             .collect();
-        out.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .expect("finite distances")
-                .then(a.0.id.cmp(&b.0.id))
-        });
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.id.cmp(&b.0.id)));
         out
     }
 
@@ -97,19 +93,14 @@ impl RTree {
             return Vec::new();
         }
         let mut best: BinaryHeap<(OrdF64, u64)> = BinaryHeap::new();
-        let mut items: std::collections::HashMap<u64, Item> =
-            std::collections::HashMap::new();
+        let mut items: std::collections::HashMap<u64, Item> = std::collections::HashMap::new();
         self.df_visit(self.root, q, k, &mut best, &mut items);
         let mut out: Vec<(Item, f64)> = best
             .into_sorted_vec()
             .into_iter()
             .map(|(d, id)| (items[&id], d.0.sqrt()))
             .collect();
-        out.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .expect("finite distances")
-                .then(a.0.id.cmp(&b.0.id))
-        });
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.id.cmp(&b.0.id)));
         out
     }
 
@@ -153,7 +144,7 @@ impl RTree {
             .iter()
             .map(|e| (e.mbr().mindist_sq(q), e.child()))
             .collect();
-        order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        order.sort_by(|a, b| a.0.total_cmp(&b.0));
         for (lb, child) in order {
             if lb >= worst(best) && best.len() == k {
                 break; // list is sorted: nothing further qualifies
@@ -171,7 +162,7 @@ impl RTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{RTreeConfig};
+    use crate::RTreeConfig;
     use lbq_geom::Point;
 
     fn build(n: usize, seed: u64) -> (RTree, Vec<Item>) {
@@ -194,10 +185,7 @@ mod tests {
     }
 
     fn brute_knn(items: &[Item], q: Point, k: usize) -> Vec<u64> {
-        let mut v: Vec<(f64, u64)> = items
-            .iter()
-            .map(|i| (q.dist_sq(i.point), i.id))
-            .collect();
+        let mut v: Vec<(f64, u64)> = items.iter().map(|i| (q.dist_sq(i.point), i.id)).collect();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         v.into_iter().take(k).map(|(_, id)| id).collect()
     }

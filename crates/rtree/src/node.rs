@@ -42,7 +42,7 @@ pub(crate) enum Entry {
 impl Entry {
     /// The MBR of the entry (degenerate rectangle for a point).
     #[inline]
-    pub fn mbr(&self) -> Rect {
+    pub(crate) fn mbr(&self) -> Rect {
         match self {
             Entry::Child { mbr, .. } => *mbr,
             Entry::Leaf(item) => Rect::from_point(item.point),
@@ -52,18 +52,20 @@ impl Entry {
     /// The child id of an internal entry. Panics on leaf entries —
     /// callers always know the level they are traversing.
     #[inline]
-    pub fn child(&self) -> NodeId {
+    pub(crate) fn child(&self) -> NodeId {
         match self {
             Entry::Child { node, .. } => *node,
+            // lbq-check: allow(no-unwrap-core) — typed-level traversal contract
             Entry::Leaf(_) => panic!("child() on a leaf entry"),
         }
     }
 
     /// The item of a leaf entry. Panics on internal entries.
     #[inline]
-    pub fn item(&self) -> Item {
+    pub(crate) fn item(&self) -> Item {
         match self {
             Entry::Leaf(item) => *item,
+            // lbq-check: allow(no-unwrap-core) — typed-level traversal contract
             Entry::Child { .. } => panic!("item() on an internal entry"),
         }
     }
@@ -78,23 +80,29 @@ pub(crate) struct Node {
 }
 
 impl Node {
-    pub fn new_leaf() -> Self {
-        Node { level: 0, entries: Vec::new() }
+    pub(crate) fn new_leaf() -> Self {
+        Node {
+            level: 0,
+            entries: Vec::new(),
+        }
     }
 
-    pub fn new_internal(level: u32) -> Self {
+    pub(crate) fn new_internal(level: u32) -> Self {
         debug_assert!(level > 0);
-        Node { level, entries: Vec::new() }
+        Node {
+            level,
+            entries: Vec::new(),
+        }
     }
 
     #[inline]
-    pub fn is_leaf(&self) -> bool {
+    pub(crate) fn is_leaf(&self) -> bool {
         self.level == 0
     }
 
     /// The node's own MBR — the union of its entries' MBRs. `None` for an
     /// empty node (only the root of an empty tree).
-    pub fn mbr(&self) -> Option<Rect> {
+    pub(crate) fn mbr(&self) -> Option<Rect> {
         let mut it = self.entries.iter();
         let mut r = it.next()?.mbr();
         for e in it {
@@ -120,9 +128,12 @@ mod tests {
     fn node_mbr_unions_entries() {
         let mut n = Node::new_leaf();
         assert!(n.mbr().is_none());
-        n.entries.push(Entry::Leaf(Item::new(Point::new(0.0, 0.0), 1)));
-        n.entries.push(Entry::Leaf(Item::new(Point::new(4.0, -2.0), 2)));
-        n.entries.push(Entry::Leaf(Item::new(Point::new(1.0, 5.0), 3)));
+        n.entries
+            .push(Entry::Leaf(Item::new(Point::new(0.0, 0.0), 1)));
+        n.entries
+            .push(Entry::Leaf(Item::new(Point::new(4.0, -2.0), 2)));
+        n.entries
+            .push(Entry::Leaf(Item::new(Point::new(1.0, 5.0), 3)));
         assert_eq!(n.mbr().unwrap(), Rect::new(0.0, -2.0, 4.0, 5.0));
     }
 
@@ -136,7 +147,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn item_on_internal_panics() {
-        let e = Entry::Child { mbr: Rect::new(0.0, 0.0, 1.0, 1.0), node: 3 };
+        let e = Entry::Child {
+            mbr: Rect::new(0.0, 0.0, 1.0, 1.0),
+            node: 3,
+        };
         let _ = e.item();
     }
 }

@@ -41,14 +41,14 @@ pub(crate) struct StatsCell {
 }
 
 impl StatsCell {
-    pub fn snapshot(&self) -> Stats {
+    pub(crate) fn snapshot(&self) -> Stats {
         Stats {
             node_accesses: self.node_accesses.get(),
             page_faults: self.page_faults.get(),
         }
     }
 
-    pub fn reset(&self) {
+    pub(crate) fn reset(&self) {
         self.node_accesses.set(0);
         self.page_faults.set(0);
     }
@@ -99,6 +99,7 @@ impl LruBuffer {
                 .iter()
                 .min_by_key(|(_, &stamp)| stamp)
                 .map(|(id, _)| id)
+                // lbq-check: allow(no-unwrap-core) — guarded by the full check
                 .expect("buffer non-empty when full");
             self.resident.remove(&victim);
         }
@@ -196,11 +197,20 @@ mod tests {
 
     #[test]
     fn stats_merge() {
-        let a = Stats { node_accesses: 3, page_faults: 1 };
-        let b = Stats { node_accesses: 5, page_faults: 2 };
+        let a = Stats {
+            node_accesses: 3,
+            page_faults: 1,
+        };
+        let b = Stats {
+            node_accesses: 5,
+            page_faults: 2,
+        };
         assert_eq!(
             a.merged(b),
-            Stats { node_accesses: 8, page_faults: 3 }
+            Stats {
+                node_accesses: 8,
+                page_faults: 3
+            }
         );
     }
 }

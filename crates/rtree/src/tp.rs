@@ -93,14 +93,11 @@ impl RTree {
     ) -> Option<TpEvent> {
         assert!(!inner.is_empty(), "TP query needs the current result set");
         debug_assert!(
-            (dir.norm() - 1.0).abs() < 1e-9,
+            (dir.norm() - 1.0).abs() < lbq_geom::EPS,
             "dir must be unit length, got |dir| = {}",
             dir.norm()
         );
-        let d_max = inner
-            .iter()
-            .map(|o| q.dist(o.point))
-            .fold(0.0f64, f64::max);
+        let d_max = inner.iter().map(|o| q.dist(o.point)).fold(0.0f64, f64::max);
 
         let entry_bound = |mbr: &Rect| -> f64 {
             match bound {
@@ -134,7 +131,11 @@ impl RTree {
                                     .as_ref()
                                     .is_some_and(|b| t == b.time && item.id < b.object.id));
                         if t <= t_max && better {
-                            best = Some(TpEvent { object: item, partner, time: t });
+                            best = Some(TpEvent {
+                                object: item,
+                                partner,
+                                time: t,
+                            });
                         }
                     }
                 }
@@ -155,12 +156,7 @@ impl RTree {
 /// Influence time of point `p` against the inner set: the earliest
 /// bisector crossing, with the inner partner achieving it. `None` when
 /// `p` never influences the result along this ray.
-pub(crate) fn influence_time(
-    q: Point,
-    dir: Vec2,
-    p: Point,
-    inner: &[Item],
-) -> Option<(f64, Item)> {
+pub(crate) fn influence_time(q: Point, dir: Vec2, p: Point, inner: &[Item]) -> Option<(f64, Item)> {
     let mut best: Option<(f64, Item)> = None;
     let dp_sq = q.dist_sq(p);
     for &o in inner {
@@ -190,7 +186,9 @@ pub(crate) fn influence_time(
 /// `mindist(q+t·dir, mbr) ≤ dist(q+t·dir, oᵢ)` for some inner `oᵢ`
 /// (`+∞`-like `t_max + 1` when none exists in the horizon).
 fn exact_entry_bound(q: Point, dir: Vec2, mbr: &Rect, inner: &[Item], t_max: f64) -> f64 {
-    // Inside the MBR right now → can influence immediately.
+    // Inside the MBR right now → can influence immediately. mindist_sq
+    // returns an exact 0.0 for interior points (clamped differences).
+    // lbq-check: allow(float-eq)
     if mbr.mindist_sq(q) == 0.0 {
         return 0.0;
     }
@@ -210,7 +208,7 @@ fn exact_entry_bound(q: Point, dir: Vec2, mbr: &Rect, inner: &[Item], t_max: f64
             }
         }
     }
-    ts.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    ts.sort_by(f64::total_cmp);
     ts.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
 
     for w in ts.windows(2) {
@@ -327,11 +325,15 @@ mod tests {
             }
             if let Some((t, partner)) = influence_time(q, dir, item.point, inner) {
                 if t <= t_max
-                    && best.as_ref().is_none_or(|b| {
-                        t < b.time || (t == b.time && item.id < b.object.id)
-                    })
+                    && best
+                        .as_ref()
+                        .is_none_or(|b| t < b.time || (t == b.time && item.id < b.object.id))
                 {
-                    best = Some(TpEvent { object: item, partner, time: t });
+                    best = Some(TpEvent {
+                        object: item,
+                        partner,
+                        time: t,
+                    });
                 }
             }
         }
@@ -346,13 +348,11 @@ mod tests {
         let q = Point::ORIGIN;
         let dir = Vec2::new(1.0, 0.0);
         let inner = [Item::new(Point::new(1.0, 0.0), 0)];
-        let (t, partner) =
-            influence_time(q, dir, Point::new(3.0, 0.0), &inner).unwrap();
+        let (t, partner) = influence_time(q, dir, Point::new(3.0, 0.0), &inner).unwrap();
         assert!((t - 2.0).abs() < 1e-12);
         assert_eq!(partner.id, 0);
         // Moving west the candidate never influences.
-        assert!(influence_time(q, Vec2::new(-1.0, 0.0), Point::new(3.0, 0.0), &inner)
-            .is_none());
+        assert!(influence_time(q, Vec2::new(-1.0, 0.0), Point::new(3.0, 0.0), &inner).is_none());
     }
 
     #[test]
@@ -362,12 +362,14 @@ mod tests {
             Vec2::new(1.0, 0.0),
             Vec2::new(0.0, -1.0),
             Vec2::new(0.6, 0.8),
-            Vec2::new(-std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2),
+            Vec2::new(
+                -std::f64::consts::FRAC_1_SQRT_2,
+                std::f64::consts::FRAC_1_SQRT_2,
+            ),
         ];
         for (qi, &qseed) in [(0.31, 0.47), (0.9, 0.1), (0.05, 0.95)].iter().enumerate() {
             let q = Point::new(qseed.0, qseed.1);
-            let inner: Vec<Item> =
-                tree.knn(q, 1 + qi).into_iter().map(|(i, _)| i).collect();
+            let inner: Vec<Item> = tree.knn(q, 1 + qi).into_iter().map(|(i, _)| i).collect();
             for &dir in &dirs {
                 for t_max in [0.05, 0.3, 2.0] {
                     let got = tree.tp_knn(q, dir, t_max, &inner);

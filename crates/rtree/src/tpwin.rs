@@ -53,15 +53,14 @@ impl RTree {
         hy: f64,
         result: &[Item],
     ) -> Option<TpWindowEvent> {
-        debug_assert!((dir.norm() - 1.0).abs() < 1e-9, "dir must be unit");
+        debug_assert!((dir.norm() - 1.0).abs() < lbq_geom::EPS, "dir must be unit");
         assert!(hx > 0.0 && hy > 0.0);
         let mut best: Option<TpWindowEvent> = None;
         let better = |cand: &TpWindowEvent, best: &Option<TpWindowEvent>| -> bool {
             match best {
                 None => true,
                 Some(b) => {
-                    cand.time < b.time
-                        || (cand.time == b.time && cand.object.id < b.object.id)
+                    cand.time < b.time || (cand.time == b.time && cand.object.id < b.object.id)
                 }
             }
         };
@@ -171,9 +170,9 @@ mod tests {
         let mut best: Option<TpWindowEvent> = None;
         let mut consider = |ev: TpWindowEvent| {
             if ev.time <= t_max
-                && best
-                    .as_ref()
-                    .is_none_or(|b| ev.time < b.time || (ev.time == b.time && ev.object.id < b.object.id))
+                && best.as_ref().is_none_or(|b| {
+                    ev.time < b.time || (ev.time == b.time && ev.object.id < b.object.id)
+                })
             {
                 best = Some(ev);
             }
@@ -235,17 +234,16 @@ mod tests {
     #[test]
     fn matches_brute_force() {
         let (tree, items) = build(300, 13);
-        for &(cx, cy, theta) in &[
-            (5.0, 5.0, 0.3),
-            (1.0, 9.0, 4.0),
-            (9.5, 0.5, 2.2),
-        ] {
+        for &(cx, cy, theta) in &[(5.0, 5.0, 0.3), (1.0, 9.0, 4.0), (9.5, 0.5, 2.2)] {
             let c = Point::new(cx, cy);
             let dir = Vec2::from_angle(theta);
             let (hx, hy) = (0.4, 0.3);
             let w = Rect::centered(c, hx, hy);
-            let result: Vec<Item> =
-                items.iter().filter(|i| w.contains(i.point)).copied().collect();
+            let result: Vec<Item> = items
+                .iter()
+                .filter(|i| w.contains(i.point))
+                .copied()
+                .collect();
             for t_max in [0.5, 3.0, 20.0] {
                 let got = tree.tp_window(c, dir, t_max, hx, hy, &result);
                 let want = brute(&items, c, dir, t_max, hx, hy, &result);
@@ -268,13 +266,20 @@ mod tests {
         let dir = Vec2::new(0.8, -0.6);
         let (hx, hy) = (0.5, 0.5);
         let w = Rect::centered(c, hx, hy);
-        let result: Vec<Item> =
-            items.iter().filter(|i| w.contains(i.point)).copied().collect();
+        let result: Vec<Item> = items
+            .iter()
+            .filter(|i| w.contains(i.point))
+            .copied()
+            .collect();
         if let Some(ev) = tree.tp_window(c, dir, 20.0, hx, hy, &result) {
             let before = Rect::centered(c + dir * (ev.time * 0.999), hx, hy);
             let after = Rect::centered(c + dir * (ev.time + 1e-6), hx, hy);
             let count = |w: &Rect| items.iter().filter(|i| w.contains(i.point)).count();
-            assert_eq!(count(&before), result.len(), "result stable until the event");
+            assert_eq!(
+                count(&before),
+                result.len(),
+                "result stable until the event"
+            );
             assert_ne!(count(&after), result.len(), "result changes at the event");
         }
     }
@@ -286,7 +291,10 @@ mod tests {
         let tree = RTree::bulk_load(items, RTreeConfig::tiny());
         let ev = tree.tp_window(
             Point::new(1.0, 1.0),
-            Vec2::new(-std::f64::consts::FRAC_1_SQRT_2, -std::f64::consts::FRAC_1_SQRT_2),
+            Vec2::new(
+                -std::f64::consts::FRAC_1_SQRT_2,
+                -std::f64::consts::FRAC_1_SQRT_2,
+            ),
             100.0,
             0.5,
             0.5,

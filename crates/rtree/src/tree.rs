@@ -2,6 +2,7 @@
 
 use crate::node::{Entry, Item, Node, NodeId};
 use crate::stats::{LruBuffer, Stats, StatsCell};
+use crate::util::{idx, node_id};
 use crate::RTreeConfig;
 use lbq_geom::Rect;
 use std::cell::RefCell;
@@ -45,7 +46,7 @@ impl RTree {
 
     /// Tree height: number of levels (1 for a root-only tree).
     pub fn height(&self) -> u32 {
-        self.nodes[self.root as usize].level + 1
+        self.nodes[idx(self.root)].level + 1
     }
 
     /// Number of live nodes (= pages occupied on disk in the cost
@@ -61,7 +62,7 @@ impl RTree {
 
     /// MBR of the whole dataset, `None` when empty.
     pub fn mbr(&self) -> Option<Rect> {
-        self.nodes[self.root as usize].mbr()
+        self.nodes[idx(self.root)].mbr()
     }
 
     /// Attaches an LRU buffer of `pages` pages (replacing any existing
@@ -80,6 +81,7 @@ impl RTree {
     /// Convenience: attach a buffer sized as `fraction` of the current
     /// node count, as the paper does with 10%.
     pub fn set_buffer_fraction(&self, fraction: f64) {
+        // lbq-check: allow(lossy-cast) — page count is small, positive, finite
         let pages = ((self.node_count() as f64) * fraction).ceil().max(1.0) as usize;
         self.set_buffer(pages);
     }
@@ -115,21 +117,21 @@ impl RTree {
 
     #[inline]
     pub(crate) fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id as usize]
+        &self.nodes[idx(id)]
     }
 
     #[inline]
     pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut Node {
-        &mut self.nodes[id as usize]
+        &mut self.nodes[idx(id)]
     }
 
     /// Allocates a node slot (reusing freed pages first).
     pub(crate) fn alloc(&mut self, node: Node) -> NodeId {
         if let Some(id) = self.free.pop() {
-            self.nodes[id as usize] = node;
+            self.nodes[idx(id)] = node;
             id
         } else {
-            let id = self.nodes.len() as NodeId;
+            let id = node_id(self.nodes.len());
             self.nodes.push(node);
             id
         }
@@ -137,7 +139,7 @@ impl RTree {
 
     /// Returns a node slot to the free list.
     pub(crate) fn dealloc(&mut self, id: NodeId) {
-        self.nodes[id as usize] = Node::new_leaf();
+        self.nodes[idx(id)] = Node::new_leaf();
         self.free.push(id);
     }
 
@@ -151,7 +153,7 @@ impl RTree {
                 return Some(item);
             }
             let id = stack.pop()?;
-            let node = &self.nodes[id as usize];
+            let node = &self.nodes[idx(id)];
             if node.is_leaf() {
                 pending.extend(node.entries.iter().map(|e| e.item()));
             } else {
@@ -180,6 +182,24 @@ impl RTree {
             ));
         }
         Ok(())
+    }
+
+    /// Alias of [`Self::check_invariants`] — the name used by the
+    /// workspace-wide invariant layer (see `lbq_core::invariants`).
+    pub fn validate(&self) -> Result<(), String> {
+        self.check_invariants()
+    }
+
+    /// Debug-build invariant trap, threaded through the mutation paths
+    /// (bulk load, delete, and amortized insert). Compiled out in
+    /// release builds.
+    #[inline]
+    pub(crate) fn debug_validate(&self) {
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.check_invariants() {
+            // lbq-check: allow(no-unwrap-core) — debug-only invariant trap
+            panic!("R-tree invariant violated: {e}");
+        }
     }
 
     fn check_node(
@@ -218,9 +238,7 @@ impl RTree {
         for e in &node.entries {
             let (mbr, child) = match e {
                 Entry::Child { mbr, node } => (*mbr, *node),
-                Entry::Leaf(_) => {
-                    return Err(format!("leaf entry in internal node {id}"))
-                }
+                Entry::Leaf(_) => return Err(format!("leaf entry in internal node {id}")),
             };
             let child_node = self.node(child);
             if child_node.level + 1 != node.level {
@@ -236,7 +254,7 @@ impl RTree {
 }
 
 fn rect_close(a: &Rect, b: &Rect) -> bool {
-    let eps = 1e-9
+    let eps = lbq_geom::EPS
         * a.width()
             .abs()
             .max(a.height().abs())
@@ -299,6 +317,69 @@ mod tests {
         assert_eq!(second.page_faults, 0);
         assert_eq!(first.node_accesses, second.node_accesses);
         assert!(first.page_faults > 0);
+    }
+
+    fn small_tree() -> RTree {
+        let mut t = RTree::new(RTreeConfig::tiny());
+        for i in 0..200 {
+            t.insert(Item::new(
+                Point::new((i * 37 % 100) as f64, (i * 53 % 100) as f64),
+                i,
+            ));
+        }
+        assert!(t.height() >= 2, "corruption tests need an internal level");
+        t.check_invariants().unwrap();
+        t
+    }
+
+    #[test]
+    fn validate_catches_corrupt_child_mbr() {
+        let mut t = small_tree();
+        let root = t.root;
+        // Shrink the first child entry's MBR so it no longer bounds the
+        // child — exactly the corruption a buggy split would cause.
+        if let Entry::Child { mbr, .. } = &mut t.nodes[idx(root)].entries[0] {
+            mbr.xmax = mbr.xmin;
+            mbr.ymax = mbr.ymin;
+        } else {
+            panic!("root of a multi-level tree has child entries");
+        }
+        let err = t.validate().unwrap_err();
+        assert!(err.contains("MBR"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn validate_catches_corrupt_len() {
+        let mut t = small_tree();
+        t.len += 1;
+        let err = t.validate().unwrap_err();
+        assert!(err.contains("len mismatch"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn validate_catches_corrupt_level() {
+        let mut t = small_tree();
+        let first_child = t.nodes[idx(t.root)].entries[0].child();
+        t.nodes[idx(first_child)].level += 1;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_starved_node() {
+        let mut t = small_tree();
+        let first_child = t.nodes[idx(t.root)].entries[0].child();
+        // Drain a non-root node below min_entries behind the tree's back.
+        t.nodes[idx(first_child)].entries.truncate(1);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "R-tree invariant violated")]
+    fn debug_validate_traps_corruption() {
+        let mut t = small_tree();
+        t.len += 7;
+        t.debug_validate();
     }
 
     #[test]

@@ -1,6 +1,27 @@
 //! Small utilities shared by the tree algorithms.
 
+use crate::node::NodeId;
 use std::cmp::Ordering;
+
+/// Arena index of a node id. `u32 → usize` is lossless on every
+/// platform this crate supports (the arena itself could not be addressed
+/// otherwise); routing every hop through this helper keeps the
+/// `lossy-cast` lint meaningful at the remaining sites.
+#[inline]
+pub(crate) fn idx(id: NodeId) -> usize {
+    // lbq-check: allow(lossy-cast) — u32 → usize is widening here
+    id as usize
+}
+
+/// Node id for an arena slot index. The arena is bounded far below
+/// `u32::MAX` nodes (≈4 G pages ≈ 16 TB at the paper's 4 KB page size),
+/// so overflow means a bug, and the conversion is checked exactly once —
+/// here.
+#[inline]
+pub(crate) fn node_id(i: usize) -> NodeId {
+    // lbq-check: allow(no-unwrap-core) — arena cannot reach u32::MAX slots
+    i.try_into().expect("node arena exceeded u32::MAX slots")
+}
 
 /// A totally ordered `f64` wrapper for priority queues.
 ///
@@ -52,7 +73,10 @@ mod tests {
     fn orders_like_f64() {
         let mut v = vec![OrdF64::new(3.0), OrdF64::new(-1.0), OrdF64::new(2.5)];
         v.sort();
-        assert_eq!(v, vec![OrdF64::new(-1.0), OrdF64::new(2.5), OrdF64::new(3.0)]);
+        assert_eq!(
+            v,
+            vec![OrdF64::new(-1.0), OrdF64::new(2.5), OrdF64::new(3.0)]
+        );
     }
 
     #[test]

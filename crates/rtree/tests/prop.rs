@@ -1,23 +1,42 @@
-//! Property-based tests: the R\*-tree agrees with brute force on every
-//! query type, under random data, random construction method and random
-//! mutation.
+//! Randomized property-style tests: the R\*-tree agrees with brute force
+//! on every query type, under random data, random construction method
+//! and random mutation.
+//!
+//! Formerly `proptest`; now seeded [`lbq_rng`] randomness (the build
+//! environment has no crates.io access). Deterministic per run; the
+//! `heavy-tests` feature multiplies case counts.
 
 use lbq_geom::{Point, Rect, Vec2};
+use lbq_rng::Xoshiro256ss;
 use lbq_rtree::{Item, RTree, RTreeConfig};
-use proptest::prelude::*;
 
-fn items_strategy(max: usize) -> impl Strategy<Value = Vec<Item>> {
-    proptest::collection::vec((0.0..100.0f64, 0.0..100.0f64), 1..max).prop_map(|pts| {
-        pts.into_iter()
-            .enumerate()
-            .map(|(i, (x, y))| Item::new(Point::new(x, y), i as u64))
-            .collect()
-    })
+/// Case-count knob: 8× under `--features heavy-tests`.
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "heavy-tests") {
+        base * 8
+    } else {
+        base
+    }
 }
 
-fn rect_strategy() -> impl Strategy<Value = Rect> {
-    (0.0..100.0f64, 0.0..100.0f64, 0.1..60.0f64, 0.1..60.0f64)
-        .prop_map(|(x, y, w, h)| Rect::new(x, y, (x + w).min(100.0), (y + h).min(100.0)))
+fn rand_items(rng: &mut Xoshiro256ss, max: usize) -> Vec<Item> {
+    let n = rng.gen_range(1..max);
+    (0..n)
+        .map(|i| {
+            Item::new(
+                Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)),
+                i as u64,
+            )
+        })
+        .collect()
+}
+
+fn rand_rect(rng: &mut Xoshiro256ss) -> Rect {
+    let x = rng.gen_range(0.0..100.0);
+    let y = rng.gen_range(0.0..100.0);
+    let w = rng.gen_range(0.1..60.0);
+    let h = rng.gen_range(0.1..60.0);
+    Rect::new(x, y, (x + w).min(100.0), (y + h).min(100.0))
 }
 
 fn build(items: &[Item], bulk: bool) -> RTree {
@@ -32,17 +51,15 @@ fn build(items: &[Item], bulk: bool) -> RTree {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn window_query_matches_brute_force(
-        items in items_strategy(400),
-        q in rect_strategy(),
-        bulk in any::<bool>(),
-    ) {
+#[test]
+fn window_query_matches_brute_force() {
+    let mut rng = Xoshiro256ss::seed_from_u64(0x71D0);
+    for case in 0..cases(64) {
+        let items = rand_items(&mut rng, 400);
+        let q = rand_rect(&mut rng);
+        let bulk = rng.gen_bool(0.5);
         let tree = build(&items, bulk);
-        tree.check_invariants().unwrap();
+        tree.check_invariants().expect("structural invariants");
         let mut got: Vec<u64> = tree.window(&q).into_iter().map(|i| i.id).collect();
         got.sort_unstable();
         let mut want: Vec<u64> = items
@@ -51,41 +68,49 @@ proptest! {
             .map(|i| i.id)
             .collect();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case} (bulk={bulk})");
     }
+}
 
-    #[test]
-    fn knn_matches_brute_force(
-        items in items_strategy(300),
-        qx in -10.0..110.0f64,
-        qy in -10.0..110.0f64,
-        k in 1usize..20,
-        bulk in any::<bool>(),
-    ) {
+#[test]
+fn knn_matches_brute_force() {
+    let mut rng = Xoshiro256ss::seed_from_u64(0x6EA3);
+    for case in 0..cases(64) {
+        let items = rand_items(&mut rng, 300);
+        let q = Point::new(rng.gen_range(-10.0..110.0), rng.gen_range(-10.0..110.0));
+        let k = rng.gen_range(1..20usize);
+        let bulk = rng.gen_bool(0.5);
         let tree = build(&items, bulk);
-        let q = Point::new(qx, qy);
         let got: Vec<u64> = tree.knn(q, k).into_iter().map(|(i, _)| i.id).collect();
-        let got_df: Vec<u64> =
-            tree.knn_depth_first(q, k).into_iter().map(|(i, _)| i.id).collect();
-        let mut all: Vec<(f64, u64)> =
-            items.iter().map(|i| (q.dist_sq(i.point), i.id)).collect();
-        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let got_df: Vec<u64> = tree
+            .knn_depth_first(q, k)
+            .into_iter()
+            .map(|(i, _)| i.id)
+            .collect();
+        let mut all: Vec<(f64, u64)> = items.iter().map(|i| (q.dist_sq(i.point), i.id)).collect();
+        all.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
         let want: Vec<u64> = all.into_iter().take(k).map(|(_, id)| id).collect();
-        prop_assert_eq!(&got, &want);
-        prop_assert_eq!(&got_df, &want);
+        assert_eq!(&got, &want, "case {case}: best-first");
+        assert_eq!(&got_df, &want, "case {case}: depth-first");
     }
+}
 
-    #[test]
-    fn tp_knn_matches_brute_force(
-        items in items_strategy(250),
-        qx in 0.0..100.0f64,
-        qy in 0.0..100.0f64,
-        theta in 0.0..(2.0 * std::f64::consts::PI),
-        k in 1usize..6,
-        t_max in 1.0..200.0f64,
-    ) {
+#[test]
+fn tp_knn_matches_brute_force() {
+    let mut rng = Xoshiro256ss::seed_from_u64(0x7972);
+    let mut tested = 0;
+    while tested < cases(64) {
+        let items = rand_items(&mut rng, 250);
+        let qx = rng.gen_range(0.0..100.0);
+        let qy = rng.gen_range(0.0..100.0);
+        let theta = rng.gen_range(0.0..2.0 * std::f64::consts::PI);
+        let k = rng.gen_range(1..6usize);
+        let t_max = rng.gen_range(1.0..200.0);
+        if items.len() <= k {
+            continue;
+        }
+        tested += 1;
         let tree = build(&items, true);
-        prop_assume!(items.len() > k);
         let q = Point::new(qx, qy);
         let dir = Vec2::from_angle(theta);
         let inner: Vec<Item> = tree.knn(q, k).into_iter().map(|(i, _)| i).collect();
@@ -96,14 +121,20 @@ proptest! {
         // points and inner partners.
         let mut want: Option<(f64, u64)> = None;
         for item in &items {
-            if inner.iter().any(|o| o.id == item.id) { continue; }
+            if inner.iter().any(|o| o.id == item.id) {
+                continue;
+            }
             let dp = q.dist_sq(item.point);
             for o in &inner {
                 let f0 = dp - q.dist_sq(o.point);
                 let denom = 2.0 * dir.dot(o.point.to(item.point));
-                let t = if f0 <= 0.0 { Some(0.0) }
-                    else if denom > 0.0 { Some(f0 / denom) }
-                    else { None };
+                let t = if f0 <= 0.0 {
+                    Some(0.0)
+                } else if denom > 0.0 {
+                    Some(f0 / denom)
+                } else {
+                    None
+                };
                 if let Some(t) = t {
                     if t <= t_max
                         && want.is_none_or(|(bt, bid)| t < bt || (t == bt && item.id < bid))
@@ -117,49 +148,63 @@ proptest! {
             (None, None) => {}
             (Some(g), Some((wt, _))) => {
                 // Times must agree; the object may differ only on exact ties.
-                prop_assert!((g.time - wt).abs() <= 1e-9 * wt.max(1.0),
-                    "time {} vs brute {}", g.time, wt);
+                assert!(
+                    (g.time - wt).abs() <= 1e-9 * wt.max(1.0),
+                    "time {} vs brute {}",
+                    g.time,
+                    wt
+                );
             }
-            (g, w) => prop_assert!(false, "presence mismatch: {:?} vs {:?}", g, w),
+            (g, w) => panic!("presence mismatch: {g:?} vs {w:?}"),
         }
     }
+}
 
-    #[test]
-    fn delete_keeps_queries_correct(
-        items in items_strategy(200),
-        del_mask in proptest::collection::vec(any::<bool>(), 200),
-        q in rect_strategy(),
-    ) {
+#[test]
+fn delete_keeps_queries_correct() {
+    let mut rng = Xoshiro256ss::seed_from_u64(0xDE1E);
+    for case in 0..cases(64) {
+        let items = rand_items(&mut rng, 200);
+        let q = rand_rect(&mut rng);
         let mut tree = build(&items, false);
         let mut live: Vec<Item> = Vec::new();
-        for (i, &item) in items.iter().enumerate() {
-            if del_mask.get(i).copied().unwrap_or(false) {
-                prop_assert!(tree.delete(item.point, item.id));
+        for &item in &items {
+            if rng.gen_bool(0.5) {
+                assert!(
+                    tree.delete(item.point, item.id),
+                    "case {case}: delete failed"
+                );
             } else {
                 live.push(item);
             }
         }
-        tree.check_invariants().unwrap();
-        prop_assert_eq!(tree.len(), live.len());
+        tree.check_invariants()
+            .expect("structural invariants after deletes");
+        assert_eq!(tree.len(), live.len(), "case {case}");
         let mut got: Vec<u64> = tree.window(&q).into_iter().map(|i| i.id).collect();
         got.sort_unstable();
-        let mut want: Vec<u64> =
-            live.iter().filter(|i| q.contains(i.point)).map(|i| i.id).collect();
+        let mut want: Vec<u64> = live
+            .iter()
+            .filter(|i| q.contains(i.point))
+            .map(|i| i.id)
+            .collect();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
+}
 
-    #[test]
-    fn bulk_and_incremental_agree(
-        items in items_strategy(300),
-        q in rect_strategy(),
-    ) {
+#[test]
+fn bulk_and_incremental_agree() {
+    let mut rng = Xoshiro256ss::seed_from_u64(0xB01C);
+    for case in 0..cases(64) {
+        let items = rand_items(&mut rng, 300);
+        let q = rand_rect(&mut rng);
         let bulk = build(&items, true);
         let incr = build(&items, false);
         let mut a: Vec<u64> = bulk.window(&q).into_iter().map(|i| i.id).collect();
         let mut b: Vec<u64> = incr.window(&q).into_iter().map(|i| i.id).collect();
         a.sort_unstable();
         b.sort_unstable();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
 }

@@ -55,7 +55,7 @@ impl Delaunay {
             bound.expand_to_rect(&data_bb);
         }
         let c = bound.center();
-        let r = 50.0 * (bound.width().max(bound.height()).max(1e-9));
+        let r = 50.0 * (bound.width().max(bound.height()).max(lbq_geom::EPS));
         let sv = [
             Point::new(c.x, c.y + 2.0 * r),
             Point::new(c.x - 1.7320508 * r, c.y - r),
@@ -82,7 +82,7 @@ impl Delaunay {
         debug_assert!(orient(sv[0], sv[1], sv[2]) > 0.0);
 
         let scale = bound.width().max(bound.height()).max(1.0);
-        let dup_eps = 1e-12 * scale;
+        let dup_eps = lbq_geom::EPS_TIGHT * scale;
         let mut seen: Vec<usize> = Vec::new();
         for i in 0..n {
             // Exact-duplicate handling: map to the first occurrence; the
@@ -152,7 +152,11 @@ impl Delaunay {
             if t.v.iter().any(|&v| v >= self.n_sites) {
                 continue; // super-triangle fringe
             }
-            let (a, b, c) = (self.points[t.v[0]], self.points[t.v[1]], self.points[t.v[2]]);
+            let (a, b, c) = (
+                self.points[t.v[0]],
+                self.points[t.v[1]],
+                self.points[t.v[2]],
+            );
             for (i, &p) in self.points[..self.n_sites].iter().enumerate() {
                 if t.v.contains(&i) || self.dup[i] != i {
                     continue;
@@ -249,8 +253,7 @@ impl Delaunay {
         // around p so (p, a, b) stays CCW.
         let mut start_of: std::collections::HashMap<usize, usize> =
             std::collections::HashMap::new();
-        let mut end_of: std::collections::HashMap<usize, usize> =
-            std::collections::HashMap::new();
+        let mut end_of: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
         let mut created = Vec::with_capacity(boundary.len());
         for &(a, b, outer, _dead) in &boundary {
             let id = self.alloc(Tri {
@@ -295,6 +298,7 @@ impl Delaunay {
             self.tris
                 .iter()
                 .position(|t| t.alive)
+                // lbq-check: allow(no-unwrap-core) — super-triangle always alive
                 .expect("triangulation never empty")
         };
         let limit = 4 * self.tris.len() + 16;
@@ -322,11 +326,15 @@ impl Delaunay {
             .enumerate()
             .filter(|(_, t)| t.alive)
             .find(|(_, t)| {
-                let (a, b, c) =
-                    (self.points[t.v[0]], self.points[t.v[1]], self.points[t.v[2]]);
+                let (a, b, c) = (
+                    self.points[t.v[0]],
+                    self.points[t.v[1]],
+                    self.points[t.v[2]],
+                );
                 orient(a, b, p) >= 0.0 && orient(b, c, p) >= 0.0 && orient(c, a, p) >= 0.0
             })
             .map(|(i, _)| i)
+            // lbq-check: allow(no-unwrap-core) — super-triangle spans the data
             .expect("point lies inside the super-triangle")
     }
 
@@ -366,8 +374,7 @@ fn in_circumcircle(a: Point, b: Point, c: Point, p: Point) -> bool {
     let (ax, ay) = (a.x - p.x, a.y - p.y);
     let (bx, by) = (b.x - p.x, b.y - p.y);
     let (cx, cy) = (c.x - p.x, c.y - p.y);
-    let det = (ax * ax + ay * ay) * (bx * cy - cx * by)
-        - (bx * bx + by * by) * (ax * cy - cx * ay)
+    let det = (ax * ax + ay * ay) * (bx * cy - cx * by) - (bx * bx + by * by) * (ax * cy - cx * ay)
         + (cx * cx + cy * cy) * (ax * by - bx * ay);
     det > 0.0
 }
@@ -383,7 +390,9 @@ mod tests {
     fn pseudo_random_sites(n: usize, seed: u64) -> Vec<Point> {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64) / ((1u64 << 53) as f64)
         };
         (0..n).map(|_| Point::new(next(), next())).collect()
@@ -479,8 +488,9 @@ mod tests {
 
     #[test]
     fn collinear_sites_handled() {
-        let sites: Vec<Point> =
-            (0..10).map(|i| Point::new(0.05 + i as f64 * 0.1, 0.5)).collect();
+        let sites: Vec<Point> = (0..10)
+            .map(|i| Point::new(0.05 + i as f64 * 0.1, 0.5))
+            .collect();
         let d = Delaunay::build(&sites, unit());
         // Cells are vertical slabs; areas sum to 1.
         let total: f64 = (0..10).map(|i| d.voronoi_cell(i).area()).sum();

@@ -45,10 +45,12 @@ impl VoronoiDiagram {
     /// O(deg) per cell extraction.
     pub fn build(sites: &[Point], universe: Rect) -> Self {
         let tri = Delaunay::build(sites, universe);
-        let cells = (0..sites.len())
-            .map(|i| tri.voronoi_cell(i))
-            .collect();
-        VoronoiDiagram { sites: sites.to_vec(), cells, universe }
+        let cells = (0..sites.len()).map(|i| tri.voronoi_cell(i)).collect();
+        VoronoiDiagram {
+            sites: sites.to_vec(),
+            cells,
+            universe,
+        }
     }
 
     /// Number of sites.
@@ -83,8 +85,7 @@ impl VoronoiDiagram {
     pub fn nearest_site(&self, q: Point) -> Option<usize> {
         (0..self.sites.len()).min_by(|&a, &b| {
             q.dist_sq(self.sites[a])
-                .partial_cmp(&q.dist_sq(self.sites[b]))
-                .expect("finite distances")
+                .total_cmp(&q.dist_sq(self.sites[b]))
         })
     }
 
@@ -93,7 +94,7 @@ impl VoronoiDiagram {
     /// than this). Returns `None` if `q` is outside cell `i`.
     pub fn escape_distance(&self, i: usize, q: Point) -> Option<f64> {
         let cell = &self.cells[i];
-        if !cell.contains_eps(q, 1e-9) {
+        if !cell.contains_eps(q, lbq_geom::EPS) {
             return None;
         }
         Some(dist_to_boundary(cell, q))
@@ -130,10 +131,7 @@ mod tests {
 
     #[test]
     fn two_sites_split_by_bisector() {
-        let d = VoronoiDiagram::build(
-            &[Point::new(0.25, 0.5), Point::new(0.75, 0.5)],
-            unit(),
-        );
+        let d = VoronoiDiagram::build(&[Point::new(0.25, 0.5), Point::new(0.75, 0.5)], unit());
         assert!((d.cell(0).area() - 0.5).abs() < 1e-9);
         assert!((d.cell(1).area() - 0.5).abs() < 1e-9);
         assert!(d.cell(0).contains(Point::new(0.1, 0.1)));
@@ -154,7 +152,11 @@ mod tests {
             Point::new(5.0, 10.0),
         ];
         let d = VoronoiDiagram::build(&sites, universe);
-        assert!((d.cell(0).area() - 25.0).abs() < 1e-6, "area {}", d.cell(0).area());
+        assert!(
+            (d.cell(0).area() - 25.0).abs() < 1e-6,
+            "area {}",
+            d.cell(0).area()
+        );
         // The four outer cells tile the rest.
         let total: f64 = (0..5).map(|i| d.cell(i).area()).sum();
         assert!((total - 100.0).abs() < 1e-6);
@@ -167,9 +169,13 @@ mod tests {
         let mut sites = Vec::new();
         let mut s: u64 = 12345;
         for _ in 0..60 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = ((s >> 17) % 1000) as f64 / 1000.0;
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let y = ((s >> 17) % 1000) as f64 / 1000.0;
             sites.push(Point::new(x, y));
         }
@@ -177,7 +183,10 @@ mod tests {
         let total: f64 = (0..d.len()).map(|i| d.cell(i).area()).sum();
         assert!((total - 1.0).abs() < 1e-6, "areas sum to {total}");
         for (i, &site) in sites.iter().enumerate() {
-            assert!(d.cell(i).contains_eps(site, 1e-9), "site {i} outside its cell");
+            assert!(
+                d.cell(i).contains_eps(site, 1e-9),
+                "site {i} outside its cell"
+            );
         }
     }
 
@@ -193,10 +202,7 @@ mod tests {
             for j in 0..20 {
                 let q = Point::new(i as f64 / 20.0 + 0.02, j as f64 / 20.0 + 0.02);
                 let ns = d.nearest_site(q).unwrap();
-                assert!(
-                    d.cell(ns).contains_eps(q, 1e-6),
-                    "q={q} ns={ns}"
-                );
+                assert!(d.cell(ns).contains_eps(q, 1e-6), "q={q} ns={ns}");
             }
         }
     }

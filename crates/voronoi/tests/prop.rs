@@ -1,40 +1,63 @@
-//! Property tests: the Delaunay triangulation and its Voronoi dual on
-//! random point sets.
+//! Randomized property tests: the Delaunay triangulation and its
+//! Voronoi dual on random point sets.
+//!
+//! Formerly `proptest`; now seeded [`lbq_rng`] randomness (no crates.io
+//! access in the build environment). The `heavy-tests` feature
+//! multiplies case counts.
 
 use lbq_geom::{ConvexPolygon, HalfPlane, Point, Rect};
+use lbq_rng::Xoshiro256ss;
 use lbq_voronoi::{Delaunay, VoronoiDiagram};
-use proptest::prelude::*;
 
-fn sites_strategy(max: usize) -> impl Strategy<Value = Vec<Point>> {
-    proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64), 1..max)
-        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+/// Case-count knob: 8× under `--features heavy-tests`.
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "heavy-tests") {
+        base * 8
+    } else {
+        base
+    }
+}
+
+fn rand_sites(rng: &mut Xoshiro256ss, max: usize) -> Vec<Point> {
+    let n = rng.gen_range(1..max);
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+        .collect()
 }
 
 fn unit() -> Rect {
     Rect::new(0.0, 0.0, 1.0, 1.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn triangulation_is_delaunay_with_symmetric_adjacency(
-        sites in sites_strategy(80),
-    ) {
+#[test]
+fn triangulation_is_delaunay_with_symmetric_adjacency() {
+    let mut rng = Xoshiro256ss::seed_from_u64(0xDE1A);
+    for case in 0..cases(48) {
+        let sites = rand_sites(&mut rng, 80);
         let d = Delaunay::build(&sites, unit());
-        d.check_adjacency().unwrap();
-        d.check_delaunay().unwrap();
+        d.check_adjacency()
+            .unwrap_or_else(|e| panic!("case {case}: adjacency: {e}"));
+        d.check_delaunay()
+            .unwrap_or_else(|e| panic!("case {case}: delaunay: {e}"));
     }
+}
 
-    #[test]
-    fn cells_tile_the_universe(sites in sites_strategy(60)) {
+#[test]
+fn cells_tile_the_universe() {
+    let mut rng = Xoshiro256ss::seed_from_u64(0x711E);
+    for case in 0..cases(48) {
+        let sites = rand_sites(&mut rng, 60);
         let d = VoronoiDiagram::build(&sites, unit());
         let total: f64 = (0..d.len()).map(|i| d.cell(i).area()).sum();
-        prop_assert!((total - 1.0).abs() < 1e-6, "total {}", total);
+        assert!((total - 1.0).abs() < 1e-6, "case {case}: total {total}");
     }
+}
 
-    #[test]
-    fn cell_matches_all_pairs_clipping(sites in sites_strategy(25)) {
+#[test]
+fn cell_matches_all_pairs_clipping() {
+    let mut rng = Xoshiro256ss::seed_from_u64(0xA11);
+    for case in 0..cases(48) {
+        let sites = rand_sites(&mut rng, 25);
         // The Delaunay-dual cell equals the brute-force intersection of
         // every bisector half-plane.
         let d = Delaunay::build(&sites, unit());
@@ -46,22 +69,24 @@ proptest! {
                 }
             }
             let dual = d.voronoi_cell(i);
-            prop_assert!(
+            assert!(
                 (dual.area() - brute.area()).abs() < 1e-8,
-                "site {}: dual {} brute {}", i, dual.area(), brute.area()
+                "case {case} site {i}: dual {} brute {}",
+                dual.area(),
+                brute.area()
             );
         }
     }
+}
 
-    #[test]
-    fn nearest_site_owns_containing_cell(
-        sites in sites_strategy(40),
-        qx in 0.0..1.0f64,
-        qy in 0.0..1.0f64,
-    ) {
+#[test]
+fn nearest_site_owns_containing_cell() {
+    let mut rng = Xoshiro256ss::seed_from_u64(0x0EA5);
+    for case in 0..cases(48) {
+        let sites = rand_sites(&mut rng, 40);
+        let q = Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
         let d = VoronoiDiagram::build(&sites, unit());
-        let q = Point::new(qx, qy);
-        let ns = d.nearest_site(q).unwrap();
-        prop_assert!(d.cell(ns).contains_eps(q, 1e-6));
+        let ns = d.nearest_site(q).expect("non-empty site set");
+        assert!(d.cell(ns).contains_eps(q, 1e-6), "case {case}: q {q}");
     }
 }

@@ -68,9 +68,7 @@ fn main() {
         disk_hits,
         shipped
     );
-    println!(
-        "a naive client would query 1000 times and ship {naive_shipped} objects"
-    );
+    println!("a naive client would query 1000 times and ship {naive_shipped} objects");
     println!(
         "→ region validity trades bytes (influence sets) for an {:.0}% cut in \
          round-trips — and round-trips are what drain a mobile link",

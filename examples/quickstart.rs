@@ -65,7 +65,11 @@ fn main() {
         println!(
             "  at x={:>6.0}: cached answer {}",
             pos.x,
-            if inside { "still valid ✓" } else { "EXPIRED — re-query" }
+            if inside {
+                "still valid ✓"
+            } else {
+                "EXPIRED — re-query"
+            }
         );
         if !inside {
             break;

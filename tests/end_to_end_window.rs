@@ -34,10 +34,7 @@ fn window_results_and_regions_exact_on_clustered_data() {
         let want_set: std::collections::BTreeSet<u64> = want.into_iter().collect();
         for dx in -3..=3 {
             for dy in -3..=3 {
-                let p = Point::new(
-                    c.x + dx as f64 * hx * 0.4,
-                    c.y + dy as f64 * hy * 0.4,
-                );
+                let p = Point::new(c.x + dx as f64 * hx * 0.4, c.y + dy as f64 * hy * 0.4);
                 if resp.validity.contains(p) {
                     let w2 = Rect::centered(p, hx, hy);
                     let set: std::collections::BTreeSet<u64> = data
@@ -74,14 +71,8 @@ fn buffer_absorbs_the_second_window_query() {
         if result.is_empty() {
             continue;
         }
-        let _ = lbq_core::window::window_validity_from_result(
-            &tree,
-            c,
-            hx,
-            hy,
-            data.universe,
-            result,
-        );
+        let _ =
+            lbq_core::window::window_validity_from_result(&tree, c, hx, hy, data.universe, result);
         let s2 = tree.take_stats();
         na2_total += s2.node_accesses as f64;
         pa2_total += s2.page_faults as f64;
@@ -112,6 +103,7 @@ fn degenerate_universe_edge_windows() {
         let resp = server.window_with_validity(c, 50_000.0, 50_000.0);
         assert!(resp.validity.inner_rect.xmin >= u.xmin - 1e-6);
         assert!(resp.validity.inner_rect.xmax <= u.xmax + 1e-6);
+        // lbq-check: allow(float-eq) — degenerate regions report an exact 0.0
         assert!(resp.validity.contains(c) || resp.validity.area() == 0.0);
     }
 }

@@ -30,12 +30,13 @@ fn nn_area_model_tracks_k_scaling() {
     let n = 20_000usize;
     let data = uniform_unit(n, 3);
     let tree = build_tree(&data);
-    let queries: Vec<_> = paper_query_points(&data, 4).into_iter().take(120).collect();
+    let queries: Vec<_> = paper_query_points(&data, 4).into_iter().take(600).collect();
     let a1 = run_nn_workload(&tree, data.universe, &queries, 1).area;
     for k in [3usize, 10] {
         let ak = run_nn_workload(&tree, data.universe, &queries, k).area;
         let measured = a1 / ak;
-        let model = analysis::nn_validity_area(n as f64, 1) / analysis::nn_validity_area(n as f64, k);
+        let model =
+            analysis::nn_validity_area(n as f64, 1) / analysis::nn_validity_area(n as f64, k);
         let ratio = measured / model;
         assert!(
             (0.6..1.7).contains(&ratio),
@@ -82,8 +83,7 @@ fn inner_extents_formula_tracks_measurement() {
     for w in &windows {
         let c = w.center();
         let (hx, hy) = (w.width() / 2.0, w.height() / 2.0);
-        let resp =
-            lbq_core::window_with_validity(&tree, c, hx, hy, data.universe);
+        let resp = lbq_core::window_with_validity(&tree, c, hx, hy, data.universe);
         if resp.result.is_empty() {
             continue;
         }
@@ -134,15 +134,13 @@ fn minskew_correction_beats_global_n_on_skewed_data() {
     let hist = Minskew::paper(&data.points(), data.universe);
     let queries: Vec<_> = paper_query_points(&data, 3).into_iter().take(120).collect();
 
-    let naive_est =
-        analysis::nn_validity_area(data.len() as f64, 1) * data.universe.area();
+    let naive_est = analysis::nn_validity_area(data.len() as f64, 1) * data.universe.area();
     let mut err_naive = 0.0;
     let mut err_hist = 0.0;
     let mut counted = 0;
     for &q in &queries {
         let inner: Vec<_> = tree.knn(q, 1).into_iter().map(|(i, _)| i).collect();
-        let (validity, _) =
-            lbq_core::retrieve_influence_set(&tree, q, &inner, data.universe);
+        let (validity, _) = lbq_core::retrieve_influence_set(&tree, q, &inner, data.universe);
         let actual = validity.area();
         if actual <= 0.0 {
             continue;
