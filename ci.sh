@@ -17,4 +17,25 @@ cargo run --release -q -p lbq-check
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== examples (text tracing + profile tables)"
+for ex in quickstart moving_client city_window geofence_region; do
+    out="$(LBQ_TRACE=text cargo run --release -q -p lbq-core --example "$ex" 2>/dev/null)"
+    echo "$out" | grep -q "== lbq-obs profile ==" || {
+        echo "ci: example $ex did not print a profile table" >&2
+        exit 1
+    }
+done
+
+echo "== moving_client jsonl trace"
+trace="$(mktemp)"
+LBQ_TRACE=jsonl cargo run --release -q -p lbq-core --example moving_client 2>"$trace" >/dev/null
+for name in rtree-tpnn nn-influence-set tpnn-iteration client-cache-hit client-cache-miss; do
+    grep -q "\"name\":\"$name\"" "$trace" || {
+        echo "ci: jsonl trace is missing \"$name\" records" >&2
+        rm -f "$trace"
+        exit 1
+    }
+done
+rm -f "$trace"
+
 echo "ci: ok"

@@ -96,9 +96,14 @@ fn bench_client_check() {
 }
 
 fn main() {
+    // `LBQ_TRACE=text|jsonl` streams every query span to stderr.
+    lbq_obs::install_from_env();
     bench_knn();
     bench_tpnn_bounds();
     bench_location_based_nn();
     bench_location_based_window();
     bench_client_check();
+    // Global counters accumulated by the rtree probes over the run.
+    println!();
+    lbq_obs::print_metrics("bench totals");
 }

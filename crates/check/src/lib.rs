@@ -2,11 +2,12 @@
 //!
 //! A zero-dependency lint pass for this workspace, run as
 //! `cargo run -p lbq-check` (wired into `ci.sh`). It lexes every `.rs`
-//! file with a hand-rolled scanner ([`lexer`]) and enforces five rules
+//! file with a hand-rolled scanner ([`lexer`]) and enforces six rules
 //! ([`rules`]) that `rustc`/`clippy` cannot express project-wide:
 //! floating-point comparison hygiene, centralized epsilons, panic-free
-//! library code, checked id/index casts in the R-tree arena, and doc
-//! coverage of the public geometry/server API.
+//! library code, checked id/index casts in the R-tree arena, doc
+//! coverage of the public geometry/server API, and kebab-case
+//! `lbq_obs` span/metric names.
 //!
 //! Exit status is non-zero when any diagnostic survives the allowlist
 //! (`// lbq-check: allow(<rule>)` on the offending line or the line
@@ -231,6 +232,71 @@ mod tests {
         assert!(rules_hit("crates/hist/src/lib.rs", "pub fn f() {}").is_empty());
         // Doc comment above an attribute still counts.
         assert!(rules_hit(LIB, "/// Doc.\n#[inline]\npub const fn f() -> u8 { 0 }").is_empty());
+    }
+
+    // ------------------------------------------------ obs-span-name
+
+    #[test]
+    fn obs_span_name_hits_bad_names() {
+        assert_eq!(
+            rules_hit(LIB, "fn f() { let _s = lbq_obs::span(\"BadName\"); }"),
+            ["obs-span-name"]
+        );
+        assert_eq!(
+            rules_hit(LIB, "fn f() { let _s = lbq_obs::span(\"ends-\"); }"),
+            ["obs-span-name"]
+        );
+        assert_eq!(
+            rules_hit(LIB, "fn f() { let _s = lbq_obs::span(\"double--dash\"); }"),
+            ["obs-span-name"]
+        );
+        // Dynamic names defeat grep; the rule demands a literal.
+        assert_eq!(
+            rules_hit(
+                LIB,
+                "fn f(n: &'static str) { let _c = lbq_obs::counter(n); }"
+            ),
+            ["obs-span-name"]
+        );
+        assert_eq!(
+            rules_hit(LIB, "fn f() { lbq_obs::event(concat!(\"a\", \"b\")); }"),
+            ["obs-span-name"]
+        );
+    }
+
+    #[test]
+    fn obs_span_name_accepts_kebab_literals_and_exempts_obs() {
+        assert!(rules_hit(LIB, "fn f() { let _s = lbq_obs::span(\"rtree-knn\"); }").is_empty());
+        assert!(rules_hit(
+            LIB,
+            "fn f() { let _c = lbq_obs::counter(\"cache-hits2\"); }"
+        )
+        .is_empty());
+        assert!(rules_hit(
+            LIB,
+            "fn f() { lbq_obs::event_with(\"tpnn-iteration\", []); }"
+        )
+        .is_empty());
+        // `use lbq_obs as obs` call sites are covered too.
+        assert_eq!(
+            rules_hit(LIB, "fn f() { let _g = obs::gauge(\"Nope\"); }"),
+            ["obs-span-name"]
+        );
+        // Unrelated paths/functions don't trip the rule.
+        assert!(rules_hit(LIB, "fn f() { let _s = tracing::span(\"Whatever\"); }").is_empty());
+        assert!(rules_hit(LIB, "fn f() { let _ = lbq_obs::enabled(); }").is_empty());
+        // The obs crate itself is exempt (its tests use throwaway names).
+        assert!(rules_hit(
+            "crates/obs/src/trace.rs",
+            "fn f() { let _s = lbq_obs::span(\"NotKebab\"); }"
+        )
+        .is_empty());
+        // Allow comment escape hatch.
+        assert!(rules_hit(
+            LIB,
+            "fn f(n: &'static str) { // lbq-check: allow(obs-span-name)\n    let _c = lbq_obs::counter(n); }"
+        )
+        .is_empty());
     }
 
     // ---------------------------------------------------- allowlist

@@ -1,4 +1,4 @@
-//! The five workspace lint rules, each a pure function over the token
+//! The six workspace lint rules, each a pure function over the token
 //! stream of one file.
 //!
 //! | rule | meaning |
@@ -7,7 +7,8 @@
 //! | `local-epsilon` | no literal epsilons (1e-12 ..= 1e-6) outside the approved epsilon module |
 //! | `no-unwrap-core` | no `.unwrap()` / `.expect()` / `panic!` in library code of the core crates |
 //! | `lossy-cast` | no narrowing `as` casts in `crates/rtree` — use `try_into` or justify |
-//! | `pub-doc` | every `pub fn` / `pub struct` in `crates/geom` and `crates/core` carries a doc comment |
+//! | `pub-doc` | every `pub fn` / `pub struct` in the doc-mandatory crates carries a doc comment |
+//! | `obs-span-name` | `lbq_obs` span/event/metric names are kebab-case string literals |
 //!
 //! Any finding can be silenced with a justification comment on the same
 //! line or the line directly above:
@@ -20,22 +21,23 @@ use crate::lexer::{float_value, is_float_literal, lex, Token, TokenKind};
 use std::collections::HashMap;
 
 /// All rule names, as used in diagnostics and allow comments.
-pub const RULE_NAMES: [&str; 5] = [
+pub const RULE_NAMES: [&str; 6] = [
     "float-eq",
     "local-epsilon",
     "no-unwrap-core",
     "lossy-cast",
     "pub-doc",
+    "obs-span-name",
 ];
 
 /// The one module allowed to define epsilons and compare floats exactly.
 pub const APPROVED_EPS_MODULE: &str = "crates/geom/src/lib.rs";
 
 /// Crates whose library code must be panic-free (`no-unwrap-core`).
-pub const PANIC_FREE_CRATES: [&str; 5] = ["geom", "rtree", "voronoi", "hist", "core"];
+pub const PANIC_FREE_CRATES: [&str; 6] = ["geom", "rtree", "voronoi", "hist", "core", "obs"];
 
 /// Crates whose public items must be documented (`pub-doc`).
-pub const DOC_CRATES: [&str; 2] = ["geom", "core"];
+pub const DOC_CRATES: [&str; 3] = ["geom", "core", "obs"];
 
 /// One finding: rule, location, human-readable message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,6 +82,7 @@ pub fn check_source(path: &str, src: &str) -> Vec<Diagnostic> {
     no_unwrap_core(&ctx, &mut out);
     lossy_cast(&ctx, &mut out);
     pub_doc(&ctx, &mut out);
+    obs_span_name(&ctx, &mut out);
 
     out.retain(|d| !is_allowed(&allows, d.rule, d.line));
     out.sort_by_key(|d| d.line);
@@ -356,6 +359,81 @@ fn pub_doc(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
             });
         }
     }
+}
+
+/// `obs-span-name`: the name argument of `lbq_obs::span` /
+/// `event` / `event_with` / `counter` / `gauge` / `histogram` must be a
+/// kebab-case string literal, so trace and metric names stay greppable,
+/// stable, and collision-free across the workspace. The obs crate
+/// itself (whose tests exercise the machinery with throwaway names) is
+/// exempt.
+fn obs_span_name(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if ctx.path.starts_with("crates/obs/") {
+        return;
+    }
+    const NAMED_FNS: [&str; 6] = [
+        "span",
+        "event",
+        "event_with",
+        "counter",
+        "gauge",
+        "histogram",
+    ];
+    let code: Vec<&Token> = ctx.tokens.iter().filter(|t| !t.is_comment()).collect();
+    for (i, tok) in code.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || (tok.text != "lbq_obs" && tok.text != "obs") {
+            continue;
+        }
+        if !(code.get(i + 1).is_some_and(|t| t.text == ":")
+            && code.get(i + 2).is_some_and(|t| t.text == ":"))
+        {
+            continue;
+        }
+        let Some(f) = code.get(i + 3) else { continue };
+        if f.kind != TokenKind::Ident || !NAMED_FNS.contains(&f.text.as_str()) {
+            continue;
+        }
+        if !code.get(i + 4).is_some_and(|t| t.text == "(") {
+            continue;
+        }
+        let arg = code.get(i + 5);
+        let literal = arg.filter(|t| t.kind == TokenKind::Str);
+        let ok = literal.is_some_and(|t| is_kebab_str_literal(&t.text));
+        if !ok {
+            let line = arg.map_or(f.line, |t| t.line);
+            let what = match literal {
+                Some(t) => format!("name {} is not kebab-case", t.text),
+                None => "name is not a string literal".to_string(),
+            };
+            out.push(Diagnostic {
+                rule: "obs-span-name",
+                file: ctx.path.to_string(),
+                line,
+                message: format!(
+                    "`lbq_obs::{}` {what}; use a kebab-case &'static str literal \
+                     (lowercase letters, digits, single dashes) or justify with an \
+                     allow comment",
+                    f.text
+                ),
+            });
+        }
+    }
+}
+
+/// True when `text` is a plain `"…"` literal whose contents are
+/// kebab-case: non-empty, `[a-z0-9-]` only, no leading/trailing/double
+/// dash.
+fn is_kebab_str_literal(text: &str) -> bool {
+    let Some(inner) = text.strip_prefix('"').and_then(|s| s.strip_suffix('"')) else {
+        return false; // raw/byte strings don't qualify
+    };
+    !inner.is_empty()
+        && !inner.starts_with('-')
+        && !inner.ends_with('-')
+        && !inner.contains("--")
+        && inner
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
 }
 
 /// Walks backwards from the token before `pub_idx`, skipping attributes

@@ -21,6 +21,7 @@
 use crate::baselines::{sr01_query, tp_query, Sr01Cache, Zl01Server};
 use crate::nn::retrieve_influence_set;
 use lbq_geom::{Point, Rect, Vec2};
+use lbq_obs::{Histogram, HistogramSummary};
 use lbq_rng::Xoshiro256ss;
 use lbq_rtree::{Item, RTree};
 
@@ -96,12 +97,56 @@ pub struct SimReport {
     pub objects_shipped: usize,
     /// Client-side validity checks performed.
     pub validity_checks: usize,
+    /// R-tree node accesses incurred by the strategy's server work
+    /// (ground-truth verification queries excluded).
+    pub na: u64,
+    /// Buffer faults (page accesses) incurred by the strategy's server
+    /// work.
+    pub pa: u64,
+    /// Wall-clock latency distribution of the server round-trips.
+    pub latency: HistogramSummary,
 }
 
 impl SimReport {
     /// Queries saved relative to querying at every step.
     pub fn savings_ratio(&self) -> f64 {
         1.0 - self.server_queries as f64 / self.steps.max(1) as f64
+    }
+}
+
+/// Runs one server round-trip `f`, charging its wall-clock time to
+/// `latency` and its NA/PA delta (plus one query) to `report`. The
+/// ground-truth verification queries the harness issues around it are
+/// deliberately *not* routed through here, so the report reflects only
+/// the strategy's own cost.
+fn metered_query<R>(
+    tree: &RTree,
+    report: &mut SimReport,
+    latency: &Histogram,
+    f: impl FnOnce() -> R,
+) -> R {
+    report.server_queries += 1;
+    let t0 = std::time::Instant::now();
+    let (out, stats) = tree.with_stats(|_| f());
+    latency.record(t0.elapsed());
+    report.na += stats.node_accesses;
+    report.pa += stats.page_faults;
+    out
+}
+
+/// Feeds a cache-probe outcome to the global `lbq_obs` counters and,
+/// when tracing is on, emits the per-step hit/miss event.
+fn note_cache(hits: &lbq_obs::Counter, misses: &lbq_obs::Counter, hit: bool) {
+    if hit {
+        hits.incr();
+        if lbq_obs::enabled() {
+            lbq_obs::event("client-cache-hit");
+        }
+    } else {
+        misses.incr();
+        if lbq_obs::enabled() {
+            lbq_obs::event("client-cache-miss");
+        }
     }
 }
 
@@ -122,7 +167,13 @@ pub fn simulate_nn(
         server_queries: 0,
         objects_shipped: 0,
         validity_checks: 0,
+        na: 0,
+        pa: 0,
+        latency: HistogramSummary::default(),
     };
+    let latency = Histogram::new();
+    let cache_hits = lbq_obs::counter("client-cache-hits");
+    let cache_misses = lbq_obs::counter("client-cache-misses");
 
     // Per-strategy cache state.
     let mut lbq_cache: Option<crate::nn::NnValidity> = None;
@@ -135,9 +186,11 @@ pub fn simulate_nn(
         let truth: Vec<u64> = tree.knn(pos, k).into_iter().map(|(i, _)| i.id).collect();
         let answer: Vec<u64> = match strategy {
             NnStrategy::Naive => {
-                report.server_queries += 1;
+                // Re-issue the query under the meter rather than reusing
+                // `truth`: the report charges the strategy its real cost.
+                let res = metered_query(tree, &mut report, &latency, || tree.knn(pos, k));
                 report.objects_shipped += k;
-                truth.clone()
+                res.into_iter().map(|(i, _)| i.id).collect()
             }
             NnStrategy::Lbq | NnStrategy::LbqDelta => {
                 let hit = match &lbq_cache {
@@ -147,10 +200,14 @@ pub fn simulate_nn(
                     }
                     None => false,
                 };
+                note_cache(&cache_hits, &cache_misses, hit);
                 if !hit {
-                    report.server_queries += 1;
-                    let inner: Vec<Item> = tree.knn(pos, k).into_iter().map(|(i, _)| i).collect();
-                    let (validity, _) = retrieve_influence_set(tree, pos, &inner, universe);
+                    let (inner, validity) = metered_query(tree, &mut report, &latency, || {
+                        let inner: Vec<Item> =
+                            tree.knn(pos, k).into_iter().map(|(i, _)| i).collect();
+                        let (validity, _) = retrieve_influence_set(tree, pos, &inner, universe);
+                        (inner, validity)
+                    });
                     let result_payload = if strategy == NnStrategy::LbqDelta {
                         delta_payload(&lbq_result, &inner)
                     } else {
@@ -170,9 +227,11 @@ pub fn simulate_nn(
                     }
                     None => false,
                 };
+                note_cache(&cache_hits, &cache_misses, hit);
                 if !hit {
-                    report.server_queries += 1;
-                    let c = sr01_query(tree, pos, k, m.max(k));
+                    let c = metered_query(tree, &mut report, &latency, || {
+                        sr01_query(tree, pos, k, m.max(k))
+                    });
                     report.objects_shipped += c.payload();
                     sr_cache = Some(c);
                 }
@@ -196,11 +255,13 @@ pub fn simulate_nn(
                     }
                     None => false,
                 };
+                note_cache(&cache_hits, &cache_misses, hit);
                 if !hit {
-                    report.server_queries += 1;
                     report.objects_shipped += 1;
-                    // lbq-check: allow(no-unwrap-core) — harness datasets are non-empty
-                    let resp = server.query(pos).expect("non-empty dataset");
+                    let resp = metered_query(tree, &mut report, &latency, || {
+                        // lbq-check: allow(no-unwrap-core) — harness datasets are non-empty
+                        server.query(pos).expect("non-empty dataset")
+                    });
                     zl_cache = Some((resp, pos));
                 }
                 // lbq-check: allow(no-unwrap-core) — filled on miss above
@@ -222,11 +283,13 @@ pub fn simulate_nn(
                     }
                     _ => false,
                 };
+                note_cache(&cache_hits, &cache_misses, hit);
                 if !hit {
-                    report.server_queries += 1;
                     let d = dir.unwrap_or(Vec2::new(1.0, 0.0));
                     let horizon = universe.width().hypot(universe.height());
-                    let resp = tp_query(tree, pos, d, k, horizon);
+                    let resp = metered_query(tree, &mut report, &latency, || {
+                        tp_query(tree, pos, d, k, horizon)
+                    });
                     report.objects_shipped += resp.result.len() + 1;
                     tp_cache = Some((resp.result.clone(), resp.expiry.map(|e| e.time), pos, d));
                 }
@@ -249,6 +312,7 @@ pub fn simulate_nn(
             "strategy {strategy:?} answered wrong at step {step} ({pos})"
         );
     }
+    report.latency = latency.summary();
     report
 }
 
@@ -284,7 +348,13 @@ pub fn simulate_window(
         server_queries: 0,
         objects_shipped: 0,
         validity_checks: 0,
+        na: 0,
+        pa: 0,
+        latency: HistogramSummary::default(),
     };
+    let latency = Histogram::new();
+    let cache_hits = lbq_obs::counter("client-cache-hits");
+    let cache_misses = lbq_obs::counter("client-cache-misses");
     let mut lbq_cache: Option<(crate::window::WindowValidity, Vec<Item>)> = None;
     let mut tp_cache: Option<(Vec<Item>, Option<f64>, Point, Vec2)> = None;
 
@@ -300,9 +370,12 @@ pub fn simulate_window(
         };
         let answer: Vec<u64> = match strategy {
             WindowStrategy::Naive => {
-                report.server_queries += 1;
-                report.objects_shipped += truth.len();
-                truth.clone()
+                // As in `simulate_nn`: pay for the query under the meter.
+                let res = metered_query(tree, &mut report, &latency, || {
+                    tree.window(&lbq_geom::Rect::centered(pos, hx, hy))
+                });
+                report.objects_shipped += res.len();
+                res.into_iter().map(|i| i.id).collect()
             }
             WindowStrategy::Lbq | WindowStrategy::LbqConservative => {
                 let hit = match &lbq_cache {
@@ -316,9 +389,11 @@ pub fn simulate_window(
                     }
                     None => false,
                 };
+                note_cache(&cache_hits, &cache_misses, hit);
                 if !hit {
-                    report.server_queries += 1;
-                    let resp = crate::window::window_with_validity(tree, pos, hx, hy, universe);
+                    let resp = metered_query(tree, &mut report, &latency, || {
+                        crate::window::window_with_validity(tree, pos, hx, hy, universe)
+                    });
                     report.objects_shipped += resp.result.len() + resp.validity.influence_count();
                     lbq_cache = Some((resp.validity, resp.result));
                 }
@@ -344,12 +419,15 @@ pub fn simulate_window(
                     }
                     _ => false,
                 };
+                note_cache(&cache_hits, &cache_misses, hit);
                 if !hit {
-                    report.server_queries += 1;
                     let d = dir.unwrap_or(Vec2::new(1.0, 0.0));
-                    let result = tree.window(&lbq_geom::Rect::centered(pos, hx, hy));
                     let horizon = universe.width().hypot(universe.height());
-                    let ev = tree.tp_window(pos, d, horizon, hx, hy, &result);
+                    let (result, ev) = metered_query(tree, &mut report, &latency, || {
+                        let result = tree.window(&lbq_geom::Rect::centered(pos, hx, hy));
+                        let ev = tree.tp_window(pos, d, horizon, hx, hy, &result);
+                        (result, ev)
+                    });
                     report.objects_shipped += result.len() + 1;
                     tp_cache = Some((result, ev.map(|e| e.time), pos, d));
                 }
@@ -370,6 +448,7 @@ pub fn simulate_window(
             "window strategy {strategy:?} wrong at step {step} ({pos})"
         );
     }
+    report.latency = latency.summary();
     report
 }
 

@@ -132,6 +132,8 @@ pub fn retrieve_influence_set(
     universe: Rect,
 ) -> (NnValidity, usize) {
     assert!(!inner.is_empty(), "kNN result must be non-empty");
+    let mut span = lbq_obs::span("nn-influence-set");
+    span.record("k", inner.len());
     // When the dataset is exactly the result set, nothing can ever
     // change: the region is the whole universe.
     if tree.len() <= inner.len() {
@@ -162,6 +164,16 @@ pub fn retrieve_influence_set(
         let t_max = q.dist(v);
         tpnn_count += 1;
         let event = tree.tp_knn(q, dir, t_max, inner);
+        if lbq_obs::enabled() {
+            lbq_obs::event_with(
+                "tpnn-iteration",
+                [
+                    ("vertices", lbq_obs::Value::from(vertices.len())),
+                    ("pairs", lbq_obs::Value::from(pairs.len())),
+                    ("found", lbq_obs::Value::from(event.is_some())),
+                ],
+            );
+        }
         match event {
             None => {
                 vertices[idx].1 = true;
@@ -209,6 +221,13 @@ pub fn retrieve_influence_set(
         universe,
     };
     crate::invariants::debug_validate_nn(&validity, q);
+    if span.is_active() {
+        span.record("tpnn-queries", tpnn_count);
+        span.record("pairs", validity.pairs.len());
+        span.record("influence", validity.influence_count());
+        span.record("edges", validity.edge_count());
+        span.record("area", validity.area());
+    }
     (validity, tpnn_count)
 }
 

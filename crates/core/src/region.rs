@@ -122,10 +122,12 @@ pub struct RegionResponse {
 /// radius `r`.
 pub fn region_with_validity(tree: &RTree, c: Point, r: f64, universe: Rect) -> RegionResponse {
     assert!(r > 0.0, "search radius must be positive");
+    let mut span = lbq_obs::span("region-validity");
     let r_sq = r * r;
     // One range query fetches the result and every possible influence
     // object (see module docs for the 3r bound).
     let candidates = tree.window(&Rect::centered(c, 3.0 * r, 3.0 * r));
+    span.record("candidates", candidates.len());
     let (mut result, mut outer): (Vec<Item>, Vec<Item>) = (Vec::new(), Vec::new());
     for it in candidates {
         if c.dist_sq(it.point) <= r_sq {
@@ -170,6 +172,11 @@ pub fn region_with_validity(tree: &RTree, c: Point, r: f64, universe: Rect) -> R
         .filter(|p| c.dist(p.point) < r + travel_bound)
         .collect();
 
+    if span.is_active() {
+        span.record("results", result.len());
+        span.record("outer-influence", outer_influence.len());
+        span.record("safe-radius", safe_radius);
+    }
     RegionResponse {
         query: c,
         radius: r,

@@ -124,6 +124,8 @@ pub fn window_validity_from_result(
     result: Vec<Item>,
 ) -> WindowResponse {
     let window = Rect::centered(c, hx, hy);
+    let mut span = lbq_obs::span("window-validity");
+    span.record("results", result.len());
     if result.is_empty() {
         return empty_window_response(tree, c, hx, hy, universe, window);
     }
@@ -196,6 +198,7 @@ pub fn window_validity_from_result(
         inner_rect.ymax - c.y,
     );
     let candidates = tree.window(&extended);
+    span.record("candidates", candidates.len());
     let result_ids: std::collections::HashSet<u64> = result.iter().map(|i| i.id).collect();
 
     // Outer influence objects: candidates whose Minkowski region
@@ -267,6 +270,12 @@ pub fn window_validity_from_result(
         conservative,
     };
     crate::invariants::debug_validate_window(&validity, c);
+    if span.is_active() {
+        span.record("inner-influence", validity.inner_influence.len());
+        span.record("outer-influence", validity.outer_influence.len());
+        span.record("inner-w", inner_rect.width());
+        span.record("inner-h", inner_rect.height());
+    }
     WindowResponse {
         query: c,
         window,

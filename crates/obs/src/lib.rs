@@ -1,0 +1,61 @@
+//! `lbq_obs` — zero-dependency tracing, metrics, and query profiling
+//! for the lbq workspace.
+//!
+//! The paper's evaluation is cost accounting: node/page accesses per
+//! query, TPNN iterations per validity region, influence-set sizes.
+//! This crate makes those costs observable at runtime without pulling
+//! in any external dependency (the workspace builds offline, std-only).
+//!
+//! Three layers:
+//!
+//! - **Tracing** ([`span`], [`event_with`], [`Subscriber`]): named,
+//!   timed, nested spans with typed fields, delivered to a pluggable
+//!   process-global subscriber ([`TextSubscriber`],
+//!   [`JsonLinesSubscriber`], [`RingBufferSubscriber`]). With no
+//!   subscriber installed every entry point is one relaxed atomic
+//!   load — no clocks, no allocation.
+//! - **Metrics** ([`counter`], [`gauge`], [`histogram`]): a named
+//!   registry of lock-free handles; histograms give p50/p95/p99
+//!   summaries from power-of-two buckets.
+//! - **Reporting** ([`ProfileTable`], [`render_metrics`]): the single
+//!   end-of-run formatting path used by examples and benches, with a
+//!   greppable `== lbq-obs profile ==` banner.
+//!
+//! Span and metric names are kebab-case string literals, enforced
+//! workspace-wide by the `obs-span-name` rule in `lbq-check`. The
+//! taxonomy lives in DESIGN.md §9.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! let ring = Arc::new(lbq_obs::RingBufferSubscriber::new(16));
+//! lbq_obs::install(ring.clone());
+//! {
+//!     let mut outer = lbq_obs::span("rtree-knn");
+//!     outer.record("k", 4u64);
+//!     let _inner = lbq_obs::span("nn-influence-set");
+//!     lbq_obs::event("tpnn-iteration");
+//! }
+//! lbq_obs::uninstall();
+//! assert_eq!(ring.records().len(), 3); // event + two spans
+//! ```
+
+pub mod metrics;
+pub mod report;
+pub mod subscriber;
+pub mod trace;
+
+pub use metrics::{
+    counter, gauge, histogram, metrics_snapshot, reset_metrics, Counter, Gauge, Histogram,
+    HistogramSummary, MetricValue,
+};
+pub use report::{fmt_ns, print_metrics, render_metrics, ProfileTable, PROFILE_HEADER};
+pub use subscriber::{
+    flush, install, install_from_env, uninstall, JsonLinesSubscriber, RingBufferSubscriber,
+    Subscriber, TextSubscriber, TraceRecord,
+};
+pub use trace::{
+    enabled, event, event_with, span, span_depth, EventRecord, Field, Span, SpanRecord, Value,
+};

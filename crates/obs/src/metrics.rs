@@ -1,0 +1,349 @@
+//! Named counters, gauges, and latency histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap
+//! `Arc<Atomic…>` wrappers: look one up once (e.g. in a `OnceLock`
+//! outside the hot loop) and increment it lock-free afterwards. The
+//! registry keys metrics by their `&'static str` name — names must be
+//! kebab-case literals, enforced by the `obs-span-name` rule in
+//! `lbq-check`.
+//!
+//! Histograms bucket durations by power of two nanoseconds (~40
+//! buckets cover 1 ns to ~18 minutes), which keeps recording to one
+//! atomic add and still yields quantile estimates within a factor of
+//! two — plenty for p50/p95/p99 trend lines.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of power-of-two histogram buckets: bucket `i` holds samples
+/// with `floor(log2(ns)) == i`, the last bucket absorbs overflow.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A monotonically increasing counter.
+#[derive(Clone, Default, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins signed gauge.
+#[derive(Clone, Default, Debug)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket latency histogram over nanosecond durations.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }))
+    }
+}
+
+/// Bucket index for a duration: `floor(log2(ns))`, clamped.
+#[inline]
+fn bucket_of(ns: u64) -> usize {
+    if ns == 0 {
+        return 0;
+    }
+    let b = 63 - ns.leading_zeros() as usize;
+    b.min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Upper bound (inclusive-exclusive boundary) of bucket `i` in ns.
+fn bucket_upper(i: usize) -> u64 {
+    if i + 1 >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+impl Histogram {
+    /// Creates an empty, unregistered histogram (for local, per-run
+    /// measurement; use [`histogram`] for the named global registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one duration.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        self.0.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Records an elapsed [`std::time::Duration`].
+    #[inline]
+    pub fn record(&self, d: std::time::Duration) {
+        self.record_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Estimated value at quantile `q` in `[0, 1]`: the upper bound of
+    /// the bucket containing that rank (0 when empty).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Point-in-time p50/p95/p99/mean summary.
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count();
+        let sum = self.0.sum_ns.load(Ordering::Relaxed);
+        HistogramSummary {
+            count,
+            p50_ns: self.quantile_ns(0.50),
+            p95_ns: self.quantile_ns(0.95),
+            p99_ns: self.quantile_ns(0.99),
+            mean_ns: if count == 0 { 0 } else { sum / count },
+        }
+    }
+}
+
+/// A copyable snapshot of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSummary {
+    /// Sample count.
+    pub count: u64,
+    /// Median estimate (bucket upper bound), ns.
+    pub p50_ns: u64,
+    /// 95th percentile estimate, ns.
+    pub p95_ns: u64,
+    /// 99th percentile estimate, ns.
+    pub p99_ns: u64,
+    /// Exact arithmetic mean, ns.
+    pub mean_ns: u64,
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+static REGISTRY: Mutex<BTreeMap<&'static str, Metric>> = Mutex::new(BTreeMap::new());
+
+fn with_registry<R>(f: impl FnOnce(&mut BTreeMap<&'static str, Metric>) -> R) -> R {
+    let mut g = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    f(&mut g)
+}
+
+/// Looks up (or creates) the counter named `name`. If the name is
+/// already registered as a different metric kind, a fresh unregistered
+/// counter is returned rather than panicking.
+pub fn counter(name: &'static str) -> Counter {
+    with_registry(|r| {
+        match r
+            .entry(name)
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => Counter::default(),
+        }
+    })
+}
+
+/// Looks up (or creates) the gauge named `name`. Kind mismatches yield
+/// a fresh unregistered gauge.
+pub fn gauge(name: &'static str) -> Gauge {
+    with_registry(|r| {
+        match r
+            .entry(name)
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => Gauge::default(),
+        }
+    })
+}
+
+/// Looks up (or creates) the histogram named `name`. Kind mismatches
+/// yield a fresh unregistered histogram.
+pub fn histogram(name: &'static str) -> Histogram {
+    with_registry(|r| {
+        match r
+            .entry(name)
+            .or_insert_with(|| Metric::Histogram(Histogram::default()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => Histogram::default(),
+        }
+    })
+}
+
+/// A registered metric's current value, as captured by
+/// [`metrics_snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram summary.
+    Histogram(HistogramSummary),
+}
+
+/// Snapshot of every registered metric, sorted by name.
+pub fn metrics_snapshot() -> Vec<(&'static str, MetricValue)> {
+    with_registry(|r| {
+        r.iter()
+            .map(|(name, m)| {
+                let v = match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.summary()),
+                };
+                (*name, v)
+            })
+            .collect()
+    })
+}
+
+/// Unregisters every metric. Existing handles keep working but are no
+/// longer visible to [`metrics_snapshot`]; intended for tests and for
+/// benches separating phases.
+pub fn reset_metrics() {
+    with_registry(|r| r.clear());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_upper(0), 1);
+        assert_eq!(bucket_upper(1), 3);
+        assert_eq!(bucket_upper(9), 1023);
+    }
+
+    #[test]
+    fn histogram_quantiles_and_summary() {
+        let h = Histogram::new();
+        assert_eq!(h.summary(), HistogramSummary::default());
+        // 99 fast samples in bucket [1024, 2047], one slow outlier.
+        for _ in 0..99 {
+            h.record_ns(1500);
+        }
+        h.record_ns(1_000_000);
+        assert_eq!(h.count(), 100);
+        let s = h.summary();
+        assert_eq!(s.p50_ns, 2047);
+        assert_eq!(s.p95_ns, 2047);
+        // Rank 99 of 100 is still in the fast bucket; only the max
+        // (rank 100) reaches the outlier's bucket [2^19, 2^20).
+        assert_eq!(s.p99_ns, 2047);
+        assert_eq!(h.quantile_ns(1.0), (1u64 << 20) - 1);
+        assert_eq!(s.mean_ns, (99 * 1500 + 1_000_000) / 100);
+    }
+
+    #[test]
+    fn counter_gauge_roundtrip() {
+        let c = Counter::default();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::default();
+        g.set(7);
+        g.add(-2);
+        assert_eq!(g.get(), 5);
+    }
+
+    #[test]
+    fn registry_dedupes_by_name_and_resets() {
+        // Distinct names from the rest of the suite: the registry is
+        // process-global and tests share it.
+        let a = counter("test-registry-counter");
+        let b = counter("test-registry-counter");
+        a.incr();
+        b.incr();
+        assert_eq!(a.get(), 2);
+        let snap = metrics_snapshot();
+        assert!(snap
+            .iter()
+            .any(|(n, v)| *n == "test-registry-counter" && *v == MetricValue::Counter(2)));
+        // Kind mismatch: returns a detached handle, keeps the original.
+        let h = histogram("test-registry-counter");
+        h.record_ns(10);
+        assert_eq!(a.get(), 2);
+        reset_metrics();
+        assert!(!metrics_snapshot()
+            .iter()
+            .any(|(n, _)| *n == "test-registry-counter"));
+        // Old handle still works, just unregistered.
+        a.incr();
+        assert_eq!(a.get(), 3);
+    }
+}

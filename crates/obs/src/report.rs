@@ -1,0 +1,176 @@
+//! End-of-run report rendering.
+//!
+//! [`ProfileTable`] is the single formatting path for per-phase /
+//! per-strategy summaries printed by the examples and `crates/bench`;
+//! [`render_metrics`] dumps the global metrics registry in the same
+//! style. Every table starts with the `== lbq-obs profile ==` banner
+//! so CI can grep for it.
+
+use crate::metrics::{metrics_snapshot, MetricValue};
+
+/// The banner every rendered table starts with (greppable in CI).
+pub const PROFILE_HEADER: &str = "== lbq-obs profile ==";
+
+/// Formats a nanosecond duration with an adaptive unit (`ns`, `µs`,
+/// `ms`, `s`).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// A fixed-column text table with the lbq profile banner. The first
+/// column is left-aligned (labels), the rest right-aligned (numbers).
+#[derive(Debug, Clone)]
+pub struct ProfileTable {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ProfileTable {
+    /// Creates a table titled `title` with the given column headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        ProfileTable {
+            title: title.into(),
+            columns: columns.iter().map(|c| (*c).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with blanks, long rows
+    /// extend the column set with unnamed columns.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        while self.columns.len() < cells.len() {
+            self.columns.push(String::new());
+        }
+        let mut row: Vec<String> = cells.to_vec();
+        row.resize(self.columns.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders the table to a string (trailing newline included).
+    pub fn render(&self) -> String {
+        let ncols = self.columns.len();
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(PROFILE_HEADER);
+        if !self.title.is_empty() {
+            out.push(' ');
+            out.push_str(&self.title);
+        }
+        out.push('\n');
+        let mut line = String::new();
+        let emit_row = |line: &mut String, cells: &[String], out: &mut String| {
+            line.clear();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                if i == 0 {
+                    line.push_str(cell);
+                    line.push_str(&" ".repeat(pad));
+                } else {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(cell);
+                }
+            }
+            out.push_str(line.trim_end());
+            out.push('\n');
+        };
+        emit_row(&mut line, &self.columns, &mut out);
+        let rule: Vec<String> = (0..ncols).map(|i| "-".repeat(widths[i])).collect();
+        emit_row(&mut line, &rule, &mut out);
+        for row in &self.rows {
+            emit_row(&mut line, row, &mut out);
+        }
+        out
+    }
+
+    /// Renders to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Renders every registered metric as a profile table (empty registry
+/// renders a table with no rows, banner included).
+pub fn render_metrics(title: &str) -> String {
+    let mut table = ProfileTable::new(title, &["metric", "value", "p50", "p95", "p99", "mean"]);
+    for (name, value) in metrics_snapshot() {
+        match value {
+            MetricValue::Counter(v) => {
+                table.row(&[name.to_string(), v.to_string()]);
+            }
+            MetricValue::Gauge(v) => {
+                table.row(&[name.to_string(), v.to_string()]);
+            }
+            MetricValue::Histogram(s) => {
+                table.row(&[
+                    name.to_string(),
+                    format!("n={}", s.count),
+                    fmt_ns(s.p50_ns),
+                    fmt_ns(s.p95_ns),
+                    fmt_ns(s.p99_ns),
+                    fmt_ns(s.mean_ns),
+                ]);
+            }
+        }
+    }
+    table.render()
+}
+
+/// Prints [`render_metrics`] to stdout.
+pub fn print_metrics(title: &str) {
+    print!("{}", render_metrics(title));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.50µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+
+    #[test]
+    fn table_renders_banner_and_alignment() {
+        let mut t = ProfileTable::new("nn strategies", &["strategy", "queries"]);
+        t.row(&["naive".to_string(), "200".to_string()]);
+        t.row(&["lbq".to_string(), "41".to_string()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "== lbq-obs profile == nn strategies");
+        assert_eq!(lines[1], "strategy  queries");
+        assert_eq!(lines[2], "--------  -------");
+        assert_eq!(lines[3], "naive         200");
+        assert_eq!(lines[4], "lbq            41");
+    }
+
+    #[test]
+    fn short_rows_pad_and_long_rows_extend() {
+        let mut t = ProfileTable::new("", &["a"]);
+        t.row(&["x".to_string(), "y".to_string()]);
+        t.row(&["z".to_string()]);
+        let s = t.render();
+        assert!(s.starts_with(PROFILE_HEADER));
+        assert_eq!(s.lines().count(), 5);
+    }
+}

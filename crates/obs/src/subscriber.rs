@@ -1,0 +1,415 @@
+//! Subscribers receive closed spans and emitted events.
+//!
+//! Exactly one subscriber is installed at a time (process-global).
+//! [`install`] flips the tracing fast-path flag on, [`uninstall`] flips
+//! it off; both are cheap and test-safe. [`install_from_env`] wires a
+//! stderr subscriber from the `LBQ_TRACE` environment variable so
+//! examples and benches opt in without code changes.
+
+use crate::trace::{EventRecord, SpanRecord, Value, ENABLED};
+use std::io::Write;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// A sink for trace data. Implementations must be `Send + Sync`; they
+/// are called from whatever thread closed the span.
+pub trait Subscriber: Send + Sync {
+    /// Called when a span closes.
+    fn on_span(&self, span: &SpanRecord);
+    /// Called when an event is emitted.
+    fn on_event(&self, event: &EventRecord);
+    /// Flushes any buffered output (default: nothing).
+    fn flush(&self) {}
+}
+
+static GLOBAL: RwLock<Option<Arc<dyn Subscriber>>> = RwLock::new(None);
+
+fn read_global() -> Option<Arc<dyn Subscriber>> {
+    GLOBAL
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_ref()
+        .cloned()
+}
+
+/// Installs `sub` as the process-global subscriber, enabling tracing.
+/// Replaces (and returns) any previously installed subscriber.
+pub fn install(sub: Arc<dyn Subscriber>) -> Option<Arc<dyn Subscriber>> {
+    let mut g = GLOBAL.write().unwrap_or_else(|e| e.into_inner());
+    let prev = g.replace(sub);
+    ENABLED.store(true, Ordering::Relaxed);
+    prev
+}
+
+/// Removes the global subscriber, disabling tracing, and returns it.
+pub fn uninstall() -> Option<Arc<dyn Subscriber>> {
+    let mut g = GLOBAL.write().unwrap_or_else(|e| e.into_inner());
+    ENABLED.store(false, Ordering::Relaxed);
+    g.take()
+}
+
+/// Flushes the installed subscriber, if any.
+pub fn flush() {
+    if let Some(s) = read_global() {
+        s.flush();
+    }
+}
+
+/// Reads `LBQ_TRACE` and installs a matching stderr subscriber:
+/// `text` → [`TextSubscriber`], `jsonl`/`json` → [`JsonLinesSubscriber`].
+/// Any other value (or unset) leaves tracing disabled. Returns whether
+/// a subscriber was installed.
+pub fn install_from_env() -> bool {
+    match std::env::var("LBQ_TRACE").as_deref() {
+        Ok("text") => {
+            install(Arc::new(TextSubscriber::stderr()));
+            true
+        }
+        Ok("jsonl") | Ok("json") => {
+            install(Arc::new(JsonLinesSubscriber::stderr()));
+            true
+        }
+        _ => false,
+    }
+}
+
+pub(crate) fn dispatch_span(record: &SpanRecord) {
+    if let Some(s) = read_global() {
+        s.on_span(record);
+    }
+}
+
+pub(crate) fn dispatch_event(record: &EventRecord) {
+    if let Some(s) = read_global() {
+        s.on_event(record);
+    }
+}
+
+/// One entry in a [`RingBufferSubscriber`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceRecord {
+    /// A closed span.
+    Span(SpanRecord),
+    /// An emitted event.
+    Event(EventRecord),
+}
+
+impl TraceRecord {
+    /// The record's span/event name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceRecord::Span(s) => s.name,
+            TraceRecord::Event(e) => e.name,
+        }
+    }
+}
+
+/// Keeps the most recent `capacity` records in memory; older records
+/// are overwritten. Useful for tests and post-mortem inspection of the
+/// tail of a run.
+pub struct RingBufferSubscriber {
+    capacity: usize,
+    inner: Mutex<Ring>,
+}
+
+struct Ring {
+    buf: Vec<TraceRecord>,
+    /// Index of the slot the next record lands in once `buf` is full.
+    next: usize,
+    total: u64,
+}
+
+impl RingBufferSubscriber {
+    /// Creates a ring holding at most `capacity` records (min 1).
+    pub fn new(capacity: usize) -> Self {
+        RingBufferSubscriber {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Ring {
+                buf: Vec::new(),
+                next: 0,
+                total: 0,
+            }),
+        }
+    }
+
+    fn push(&self, record: TraceRecord) {
+        let mut r = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if r.buf.len() < self.capacity {
+            r.buf.push(record);
+        } else {
+            let i = r.next;
+            r.buf[i] = record;
+            r.next = (i + 1) % self.capacity;
+        }
+        r.total += 1;
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        let r = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = Vec::with_capacity(r.buf.len());
+        out.extend_from_slice(&r.buf[r.next..]);
+        out.extend_from_slice(&r.buf[..r.next]);
+        out
+    }
+
+    /// Total records ever received, including overwritten ones.
+    pub fn total_received(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).total
+    }
+
+    /// Drops all retained records (the total count is kept).
+    pub fn clear(&self) {
+        let mut r = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        r.buf.clear();
+        r.next = 0;
+    }
+}
+
+impl Subscriber for RingBufferSubscriber {
+    fn on_span(&self, span: &SpanRecord) {
+        self.push(TraceRecord::Span(span.clone()));
+    }
+    fn on_event(&self, event: &EventRecord) {
+        self.push(TraceRecord::Event(event.clone()));
+    }
+}
+
+/// Writes one human-readable line per span/event to a writer.
+pub struct TextSubscriber {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl TextSubscriber {
+    /// Text output to an arbitrary writer.
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        TextSubscriber {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Text output to stderr.
+    pub fn stderr() -> Self {
+        Self::new(Box::new(std::io::stderr()))
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+fn fmt_fields(buf: &mut String, fields: &[(&'static str, Value)]) {
+    use std::fmt::Write as _;
+    for (k, v) in fields {
+        let _ = write!(buf, " {k}={v}");
+    }
+}
+
+impl Subscriber for TextSubscriber {
+    fn on_span(&self, span: &SpanRecord) {
+        use std::fmt::Write as _;
+        let mut line = String::with_capacity(80);
+        let _ = write!(
+            line,
+            "[lbq-trace] span {} #{} dur={}",
+            span.name,
+            span.id,
+            crate::report::fmt_ns(span.elapsed_ns)
+        );
+        if let Some(p) = span.parent {
+            let _ = write!(line, " parent=#{p}");
+        }
+        fmt_fields(&mut line, &span.fields);
+        self.write_line(&line);
+    }
+
+    fn on_event(&self, event: &EventRecord) {
+        use std::fmt::Write as _;
+        let mut line = String::with_capacity(80);
+        let _ = write!(line, "[lbq-trace] event {}", event.name);
+        if let Some(p) = event.parent {
+            let _ = write!(line, " in=#{p}");
+        }
+        fmt_fields(&mut line, &event.fields);
+        self.write_line(&line);
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().unwrap_or_else(|e| e.into_inner()).flush();
+    }
+}
+
+/// Writes one JSON object per line per span/event — a JSONL trace that
+/// downstream tooling can parse without a JSON library on our side.
+pub struct JsonLinesSubscriber {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonLinesSubscriber {
+    /// JSONL output to an arbitrary writer.
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        JsonLinesSubscriber {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// JSONL output to stderr.
+    pub fn stderr() -> Self {
+        Self::new(Box::new(std::io::stderr()))
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+/// Escapes `s` into `buf` as JSON string contents (no quotes).
+fn json_escape(buf: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+}
+
+fn json_value(buf: &mut String, v: &Value) {
+    use std::fmt::Write as _;
+    match v {
+        Value::U64(n) => {
+            let _ = write!(buf, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(buf, "{n}");
+        }
+        Value::F64(x) if x.is_finite() => {
+            let _ = write!(buf, "{x}");
+        }
+        // JSON has no NaN/Infinity.
+        Value::F64(_) => buf.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(buf, "{b}");
+        }
+        Value::Str(s) => {
+            buf.push('"');
+            json_escape(buf, s);
+            buf.push('"');
+        }
+        Value::Text(s) => {
+            buf.push('"');
+            json_escape(buf, s);
+            buf.push('"');
+        }
+    }
+}
+
+fn json_fields(buf: &mut String, fields: &[(&'static str, Value)]) {
+    buf.push_str(",\"fields\":{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push('"');
+        json_escape(buf, k);
+        buf.push_str("\":");
+        json_value(buf, v);
+    }
+    buf.push('}');
+}
+
+impl Subscriber for JsonLinesSubscriber {
+    fn on_span(&self, span: &SpanRecord) {
+        use std::fmt::Write as _;
+        let mut line = String::with_capacity(128);
+        let _ = write!(
+            line,
+            "{{\"type\":\"span\",\"name\":\"{}\",\"id\":{},\"start_ns\":{},\"elapsed_ns\":{}",
+            span.name, span.id, span.start_ns, span.elapsed_ns
+        );
+        if let Some(p) = span.parent {
+            let _ = write!(line, ",\"parent\":{p}");
+        }
+        json_fields(&mut line, &span.fields);
+        line.push('}');
+        self.write_line(&line);
+    }
+
+    fn on_event(&self, event: &EventRecord) {
+        use std::fmt::Write as _;
+        let mut line = String::with_capacity(128);
+        let _ = write!(
+            line,
+            "{{\"type\":\"event\",\"name\":\"{}\",\"at_ns\":{}",
+            event.name, event.at_ns
+        );
+        if let Some(p) = event.parent {
+            let _ = write!(line, ",\"parent\":{p}");
+        }
+        json_fields(&mut line, &event.fields);
+        line.push('}');
+        self.write_line(&line);
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().unwrap_or_else(|e| e.into_inner()).flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_covers_specials() {
+        let mut buf = String::new();
+        json_escape(&mut buf, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(buf, "a\\\"b\\\\c\\nd\\te\\u0001");
+    }
+
+    #[test]
+    fn json_value_nan_is_null() {
+        let mut buf = String::new();
+        json_value(&mut buf, &Value::F64(f64::NAN));
+        assert_eq!(buf, "null");
+        buf.clear();
+        json_value(&mut buf, &Value::F64(2.5));
+        assert_eq!(buf, "2.5");
+    }
+
+    #[test]
+    fn ring_buffer_wraps_oldest_first() {
+        let ring = RingBufferSubscriber::new(3);
+        for i in 0..5u64 {
+            ring.push(TraceRecord::Event(EventRecord {
+                name: "test-event",
+                parent: None,
+                at_ns: i,
+                fields: Vec::new(),
+            }));
+        }
+        let records = ring.records();
+        assert_eq!(records.len(), 3);
+        let stamps: Vec<u64> = records
+            .iter()
+            .map(|r| match r {
+                TraceRecord::Event(e) => e.at_ns,
+                TraceRecord::Span(s) => s.start_ns,
+            })
+            .collect();
+        assert_eq!(stamps, vec![2, 3, 4]);
+        assert_eq!(ring.total_received(), 5);
+        ring.clear();
+        assert!(ring.records().is_empty());
+        assert_eq!(ring.total_received(), 5);
+    }
+}

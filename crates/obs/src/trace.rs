@@ -1,0 +1,307 @@
+//! The span/event tracing core.
+//!
+//! A **span** is a named, timed region of execution opened with
+//! [`span`] and closed when the returned guard drops; spans nest via a
+//! thread-local stack, so recursive query structures (an R-tree descent
+//! inside an influence-set construction) come out as a tree. An
+//! **event** is a point-in-time record attached to the current span.
+//! Both carry typed key/value [`Field`]s.
+//!
+//! When no subscriber is installed (the default), every entry point
+//! degenerates to one relaxed atomic load: no clock reads, no
+//! thread-local access, no allocation (asserted by
+//! `tests/zero_alloc.rs`).
+
+use crate::subscriber;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Set exactly while a subscriber is installed; the one-load fast path.
+pub(crate) static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Monotonic span-id source (0 is reserved as "no span").
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Process-wide monotonic epoch; timestamps are nanoseconds since the
+/// first trace touched the clock.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    /// Ids of the spans currently open on this thread, outermost first.
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// `true` while a subscriber is installed. Hooks use this to skip
+/// computing fields that are only worth the cost when someone listens.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn epoch_ns() -> u64 {
+    let e = EPOCH.get_or_init(Instant::now);
+    u64::try_from(e.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A typed field value. Conversions exist for the common primitive
+/// types so call sites can write `span.record("k", k)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counters, sizes).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (areas, rates).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Static string (labels).
+    Str(&'static str),
+    /// Owned string (dynamic labels; prefer `Str` on hot paths).
+    Text(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(u64::try_from(v).unwrap_or(u64::MAX))
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&'static str> for Value {
+    fn from(v: &'static str) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+            Value::Text(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One key/value pair on a span or event. Keys are static so the
+/// disabled path never allocates.
+pub type Field = (&'static str, Value);
+
+/// The record a subscriber receives when a span closes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span name (a kebab-case literal; see the `obs-span-name` lint).
+    pub name: &'static str,
+    /// Unique id within the process.
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Nanoseconds since the trace epoch at which the span opened.
+    pub start_ns: u64,
+    /// Wall-clock duration of the span in nanoseconds.
+    pub elapsed_ns: u64,
+    /// Fields recorded while the span was open.
+    pub fields: Vec<Field>,
+}
+
+/// The record a subscriber receives for a point-in-time event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Event name (a kebab-case literal; see the `obs-span-name` lint).
+    pub name: &'static str,
+    /// Id of the span the event occurred inside, if any.
+    pub parent: Option<u64>,
+    /// Nanoseconds since the trace epoch.
+    pub at_ns: u64,
+    /// Event fields.
+    pub fields: Vec<Field>,
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    id: u64,
+    parent: Option<u64>,
+    start: Instant,
+    start_ns: u64,
+    fields: Vec<Field>,
+}
+
+/// A span guard. Created by [`span`]; emits a [`SpanRecord`] to the
+/// installed subscriber when dropped. When tracing is disabled the
+/// guard is inert (`None` inside — no clock read, no allocation).
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+#[derive(Default)]
+pub struct Span(Option<ActiveSpan>);
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some(a) => write!(f, "Span({} #{})", a.name, a.id),
+            None => write!(f, "Span(inert)"),
+        }
+    }
+}
+
+/// Opens a span. `name` must be a kebab-case string literal (enforced
+/// workspace-wide by the `obs-span-name` lint in `lbq-check`).
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span(None);
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let parent = s.last().copied();
+        s.push(id);
+        parent
+    });
+    Span(Some(ActiveSpan {
+        name,
+        id,
+        parent,
+        start: Instant::now(),
+        start_ns: epoch_ns(),
+        fields: Vec::new(),
+    }))
+}
+
+impl Span {
+    /// `true` when the span is live (a subscriber was installed at
+    /// creation). Use to gate field computations that are themselves
+    /// expensive.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records a field on the span (no-op when inert).
+    #[inline]
+    pub fn record(&mut self, key: &'static str, value: impl Into<Value>) {
+        if let Some(a) = &mut self.0 {
+            a.fields.push((key, value.into()));
+        }
+    }
+
+    /// This span's id, if live (events created while it is open get it
+    /// as their parent automatically; manual correlation rarely needed).
+    pub fn id(&self) -> Option<u64> {
+        self.0.as_ref().map(|a| a.id)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(a) = self.0.take() else { return };
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Guards drop in LIFO order in normal use; tolerate an
+            // out-of-order drop by removing the matching id wherever it
+            // sits.
+            if s.last() == Some(&a.id) {
+                s.pop();
+            } else {
+                s.retain(|&x| x != a.id);
+            }
+        });
+        let record = SpanRecord {
+            name: a.name,
+            id: a.id,
+            parent: a.parent,
+            start_ns: a.start_ns,
+            elapsed_ns: u64::try_from(a.start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            fields: a.fields,
+        };
+        subscriber::dispatch_span(&record);
+    }
+}
+
+/// Emits a point-in-time event with no fields.
+#[inline]
+pub fn event(name: &'static str) {
+    event_with(name, []);
+}
+
+/// Emits a point-in-time event carrying `fields`. Returns without
+/// touching the clock or allocating when tracing is disabled; callers
+/// computing expensive field values should still gate on [`enabled`].
+#[inline]
+pub fn event_with(name: &'static str, fields: impl IntoIterator<Item = Field>) {
+    if !enabled() {
+        return;
+    }
+    let record = EventRecord {
+        name,
+        parent: STACK.with(|s| s.borrow().last().copied()),
+        at_ns: epoch_ns(),
+        fields: fields.into_iter().collect(),
+    };
+    subscriber::dispatch_event(&record);
+}
+
+/// Depth of the span stack on the current thread (test/debug helper).
+pub fn span_depth() -> usize {
+    STACK.with(|s| s.borrow().len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_is_inert() {
+        // No subscriber in this process at unit-test time: spans carry
+        // nothing and the stack stays empty.
+        let mut s = span("test-span");
+        assert!(!s.is_active());
+        assert!(s.id().is_none());
+        s.record("k", 1u64);
+        assert_eq!(span_depth(), 0);
+        drop(s);
+        assert_eq!(span_depth(), 0);
+    }
+
+    #[test]
+    fn value_conversions_and_display() {
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from(3u32), Value::U64(3));
+        assert_eq!(Value::from(-3i64), Value::I64(-3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("x"), Value::Str("x"));
+        assert_eq!(format!("{}", Value::F64(0.5)), "0.5");
+        assert_eq!(format!("{}", Value::Text("hi".into())), "hi");
+    }
+}

@@ -1,0 +1,187 @@
+//! Integration tests for the tracing core. Everything that touches the
+//! process-global subscriber runs under one mutex: the cargo test
+//! harness is multi-threaded and the subscriber slot is shared.
+
+use lbq_obs::{
+    EventRecord, JsonLinesSubscriber, RingBufferSubscriber, SpanRecord, Subscriber, TraceRecord,
+};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+fn subscriber_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Installs `sub` for the duration of `f`, restoring the previous
+/// subscriber state afterwards even if `f` panics mid-assertion.
+fn with_subscriber<R>(sub: Arc<dyn Subscriber>, f: impl FnOnce() -> R) -> R {
+    lbq_obs::install(sub);
+    let out = f();
+    lbq_obs::uninstall();
+    out
+}
+
+#[test]
+fn install_uninstall_toggles_enabled() {
+    let _guard = subscriber_lock();
+    assert!(!lbq_obs::enabled());
+    let ring = Arc::new(RingBufferSubscriber::new(8));
+    assert!(lbq_obs::install(ring.clone()).is_none());
+    assert!(lbq_obs::enabled());
+    lbq_obs::event("install-test");
+    let prev = lbq_obs::uninstall();
+    assert!(prev.is_some());
+    assert!(!lbq_obs::enabled());
+    // After uninstall nothing is delivered.
+    lbq_obs::event("install-test");
+    assert_eq!(ring.total_received(), 1);
+    assert_eq!(ring.records()[0].name(), "install-test");
+}
+
+/// A recursive descent like an R-tree traversal: each level opens a
+/// span; parents must chain and depths must unwind.
+fn descend(level: u32) {
+    let mut s = lbq_obs::span("recursion-level");
+    s.record("level", u64::from(level));
+    assert_eq!(lbq_obs::span_depth(), (level + 1) as usize);
+    if level < 3 {
+        descend(level + 1);
+    }
+    lbq_obs::event("visit");
+}
+
+#[test]
+fn nested_spans_across_recursion_chain_parents() {
+    let _guard = subscriber_lock();
+    let ring = Arc::new(RingBufferSubscriber::new(64));
+    with_subscriber(ring.clone(), || {
+        descend(0);
+        assert_eq!(lbq_obs::span_depth(), 0);
+    });
+    let records = ring.records();
+    // 4 levels: 4 events then 4 spans closing innermost-first.
+    assert_eq!(records.len(), 8);
+    let spans: Vec<&SpanRecord> = records
+        .iter()
+        .filter_map(|r| match r {
+            TraceRecord::Span(s) => Some(s),
+            TraceRecord::Event(_) => None,
+        })
+        .collect();
+    assert_eq!(spans.len(), 4);
+    // Spans close deepest-first: spans[0] is level 3 ... spans[3] is level 0.
+    for w in spans.windows(2) {
+        // The later-closing span is the parent of the earlier one.
+        assert_eq!(w[0].parent, Some(w[1].id));
+    }
+    assert_eq!(spans[3].parent, None);
+    // Each event is parented to the span that was open when it fired.
+    let events: Vec<&EventRecord> = records
+        .iter()
+        .filter_map(|r| match r {
+            TraceRecord::Event(e) => Some(e),
+            TraceRecord::Span(_) => None,
+        })
+        .collect();
+    // Events fire innermost-first too, inside their own span.
+    for (event, span) in events.iter().zip(spans.iter()) {
+        assert_eq!(event.parent, Some(span.id));
+    }
+}
+
+#[test]
+fn ring_buffer_wraparound_keeps_newest() {
+    let _guard = subscriber_lock();
+    let ring = Arc::new(RingBufferSubscriber::new(4));
+    with_subscriber(ring.clone(), || {
+        for _ in 0..10 {
+            lbq_obs::event("wrap-test");
+        }
+    });
+    assert_eq!(ring.total_received(), 10);
+    let records = ring.records();
+    assert_eq!(records.len(), 4);
+    // Oldest-first ordering by timestamp.
+    let stamps: Vec<u64> = records
+        .iter()
+        .map(|r| match r {
+            TraceRecord::Event(e) => e.at_ns,
+            TraceRecord::Span(s) => s.start_ns,
+        })
+        .collect();
+    assert!(stamps.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn span_fields_reach_the_subscriber() {
+    let _guard = subscriber_lock();
+    let ring = Arc::new(RingBufferSubscriber::new(8));
+    with_subscriber(ring.clone(), || {
+        let mut s = lbq_obs::span("field-test");
+        assert!(s.is_active());
+        s.record("count", 42u64);
+        s.record("area", 1.5f64);
+        s.record("hit", true);
+        s.record("label", "leaf");
+    });
+    let records = ring.records();
+    assert_eq!(records.len(), 1);
+    let TraceRecord::Span(span) = &records[0] else {
+        panic!("expected a span record");
+    };
+    assert_eq!(span.name, "field-test");
+    assert_eq!(span.fields.len(), 4);
+    assert_eq!(span.fields[0], ("count", lbq_obs::Value::U64(42)));
+    assert_eq!(span.fields[2], ("hit", lbq_obs::Value::Bool(true)));
+}
+
+/// Collects raw bytes written by a writer-backed subscriber.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn jsonl_subscriber_emits_parseable_lines() {
+    let _guard = subscriber_lock();
+    let buf = SharedBuf::default();
+    let sub = Arc::new(JsonLinesSubscriber::new(Box::new(buf.clone())));
+    with_subscriber(sub, || {
+        let mut s = lbq_obs::span("rtree-knn");
+        s.record("k", 4u64);
+        s.record("note", "with \"quotes\"");
+        lbq_obs::event_with("tpnn-iteration", [("vertices", lbq_obs::Value::U64(7))]);
+    });
+    let bytes = buf.0.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    let text = String::from_utf8(bytes).expect("jsonl output is utf-8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2);
+    // Event first (fired inside the span), then the span on close.
+    assert!(lines[0].contains("\"type\":\"event\""));
+    assert!(lines[0].contains("\"name\":\"tpnn-iteration\""));
+    assert!(lines[0].contains("\"vertices\":7"));
+    assert!(lines[1].contains("\"type\":\"span\""));
+    assert!(lines[1].contains("\"name\":\"rtree-knn\""));
+    assert!(lines[1].contains("\"k\":4"));
+    assert!(lines[1].contains("with \\\"quotes\\\""));
+    for line in lines {
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        // Balanced quotes after unescaping is a cheap well-formedness
+        // proxy without a JSON parser.
+        let unescaped = line.replace("\\\"", "");
+        assert_eq!(unescaped.matches('"').count() % 2, 0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Asserts the no-subscriber fast path performs zero heap allocations.
+//!
+//! Uses a counting global allocator, which requires `unsafe` to
+//! implement `GlobalAlloc`; the workspace denies `unsafe_code` via a
+//! Cargo lint (a CLI `-D`), which this crate-level `allow` overrides
+//! for this test binary only. The shim lives here, in its own
+//! integration-test binary, so no other test's allocations interfere.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn no_subscriber_path_allocates_nothing() {
+    assert!(!lbq_obs::enabled());
+    // Warm up lazily-initialized statics outside the measured window.
+    {
+        let mut s = lbq_obs::span("warmup-span");
+        s.record("k", 1u64);
+        lbq_obs::event("warmup-event");
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..1_000u64 {
+        let mut s = lbq_obs::span("rtree-knn");
+        s.record("k", i);
+        s.record("area", 0.5f64);
+        lbq_obs::event_with("tpnn-iteration", [("vertices", lbq_obs::Value::U64(i))]);
+        drop(s);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled tracing must not allocate (got {} allocations over 1000 iterations)",
+        after - before
+    );
+}

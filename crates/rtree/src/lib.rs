@@ -31,15 +31,25 @@
 //! ## Metering
 //!
 //! All read queries take `&self`; counters use interior mutability.
-//! [`RTree::take_stats`] snapshots-and-resets the counters so a harness
-//! can attribute cost to phases (e.g. "the initial NN query" vs "the
-//! TPNN queries", as in the paper's Fig. 27).
+//! [`RTree::with_stats`] scopes a closure and returns the NA/PA delta
+//! it incurred (nesting-safe); [`RTree::take_stats`] is the legacy
+//! snapshot-and-reset used by phase-attribution harnesses (e.g. "the
+//! initial NN query" vs "the TPNN queries", as in the paper's Fig. 27).
+//!
+//! Every public query entry point additionally opens an `lbq_obs` span
+//! (`rtree-knn`, `rtree-knn-df`, `rtree-window`, `rtree-tpnn`,
+//! `rtree-tp-window`) carrying per-query NA/PA, heap pops, depth
+//! reached and buffer hit rate, and feeds the global
+//! `rtree-node-accesses` / `rtree-page-faults` counters. With no
+//! subscriber installed the hooks cost a handful of integer ops per
+//! query (see DESIGN.md §9).
 
 mod browse;
 mod bulk;
 mod insert;
 mod nn;
 mod node;
+mod probe;
 mod query;
 mod stats;
 mod tp;

@@ -15,6 +15,7 @@
 //! classic result worth benchmarking (see `lbq-bench`).
 
 use crate::node::{Item, NodeId};
+use crate::probe::QueryProbe;
 use crate::tree::RTree;
 use crate::util::OrdF64;
 use lbq_geom::Point;
@@ -32,6 +33,17 @@ impl RTree {
     /// Best-first k-NN `[HS99]`. Returns up to `k` items sorted by
     /// ascending distance from `q`, with their (exact) distances.
     pub fn knn(&self, q: Point, k: usize) -> Vec<(Item, f64)> {
+        let mut span = lbq_obs::span("rtree-knn");
+        let before = self.stats();
+        let mut probe = QueryProbe::default();
+        let out = self.knn_probed(q, k, &mut probe);
+        span.record("k", k);
+        span.record("results", out.len());
+        self.finish_query_span(&mut span, &probe, before);
+        out
+    }
+
+    fn knn_probed(&self, q: Point, k: usize, probe: &mut QueryProbe) -> Vec<(Item, f64)> {
         if k == 0 || self.is_empty() {
             return Vec::new();
         }
@@ -48,11 +60,13 @@ impl RTree {
         };
 
         while let Some(Reverse((OrdF64(lb), node_id))) = queue.pop() {
+            probe.pop();
             if best.len() == k && lb >= worst(&best) {
                 break; // no unexplored node can improve the result
             }
             self.access(node_id);
             let node = self.node(node_id);
+            probe.visit(node.level);
             if node.is_leaf() {
                 for e in &node.entries {
                     let item = e.item();
@@ -89,12 +103,28 @@ impl RTree {
     /// as [`RTree::knn`]; typically touches a few more nodes (it commits
     /// to a subtree before knowing if a sibling is closer).
     pub fn knn_depth_first(&self, q: Point, k: usize) -> Vec<(Item, f64)> {
+        let mut span = lbq_obs::span("rtree-knn-df");
+        let before = self.stats();
+        let mut probe = QueryProbe::default();
+        let out = self.knn_depth_first_probed(q, k, &mut probe);
+        span.record("k", k);
+        span.record("results", out.len());
+        self.finish_query_span(&mut span, &probe, before);
+        out
+    }
+
+    fn knn_depth_first_probed(
+        &self,
+        q: Point,
+        k: usize,
+        probe: &mut QueryProbe,
+    ) -> Vec<(Item, f64)> {
         if k == 0 || self.is_empty() {
             return Vec::new();
         }
         let mut best: BinaryHeap<(OrdF64, u64)> = BinaryHeap::new();
         let mut items: std::collections::HashMap<u64, Item> = std::collections::HashMap::new();
-        self.df_visit(self.root, q, k, &mut best, &mut items);
+        self.df_visit(self.root, q, k, &mut best, &mut items, probe);
         let mut out: Vec<(Item, f64)> = best
             .into_sorted_vec()
             .into_iter()
@@ -111,9 +141,12 @@ impl RTree {
         k: usize,
         best: &mut BinaryHeap<(OrdF64, u64)>,
         items: &mut std::collections::HashMap<u64, Item>,
+        probe: &mut QueryProbe,
     ) {
+        probe.pop();
         self.access(node_id);
         let node = self.node(node_id);
+        probe.visit(node.level);
         let worst = |best: &BinaryHeap<(OrdF64, u64)>| -> f64 {
             if best.len() < k {
                 f64::INFINITY
@@ -149,7 +182,7 @@ impl RTree {
             if lb >= worst(best) && best.len() == k {
                 break; // list is sorted: nothing further qualifies
             }
-            self.df_visit(child, q, k, best, items);
+            self.df_visit(child, q, k, best, items, probe);
         }
     }
 

@@ -5,20 +5,28 @@
 //! (and one buffer touch), reproducing the paper's NA/PA accounting.
 
 use crate::node::{Item, NodeId};
+use crate::probe::QueryProbe;
 use crate::tree::RTree;
 use lbq_geom::Rect;
 
 impl RTree {
     /// Returns all items inside the closed query rectangle `q`.
     pub fn window(&self, q: &Rect) -> Vec<Item> {
+        let mut span = lbq_obs::span("rtree-window");
+        let before = self.stats();
+        let mut probe = QueryProbe::default();
         let mut out = Vec::new();
-        self.window_into(self.root, q, &mut out);
+        self.window_into(self.root, q, &mut out, &mut probe);
+        span.record("results", out.len());
+        self.finish_query_span(&mut span, &probe, before);
         out
     }
 
-    fn window_into(&self, node_id: NodeId, q: &Rect, out: &mut Vec<Item>) {
+    fn window_into(&self, node_id: NodeId, q: &Rect, out: &mut Vec<Item>, probe: &mut QueryProbe) {
+        probe.pop();
         self.access(node_id);
         let node = self.node(node_id);
+        probe.visit(node.level);
         if node.is_leaf() {
             out.extend(
                 node.entries
@@ -30,7 +38,7 @@ impl RTree {
         }
         for e in &node.entries {
             if e.mbr().intersects(q) {
-                self.window_into(e.child(), q, out);
+                self.window_into(e.child(), q, out, probe);
             }
         }
     }
@@ -38,9 +46,11 @@ impl RTree {
     /// Number of items inside `q` without materializing them (same
     /// traversal and metering as [`RTree::window`]).
     pub fn window_count(&self, q: &Rect) -> usize {
-        fn rec(tree: &RTree, node_id: NodeId, q: &Rect) -> usize {
+        fn rec(tree: &RTree, node_id: NodeId, q: &Rect, probe: &mut QueryProbe) -> usize {
+            probe.pop();
             tree.access(node_id);
             let node = tree.node(node_id);
+            probe.visit(node.level);
             if node.is_leaf() {
                 return node
                     .entries
@@ -51,10 +61,16 @@ impl RTree {
             node.entries
                 .iter()
                 .filter(|e| e.mbr().intersects(q))
-                .map(|e| rec(tree, e.child(), q))
+                .map(|e| rec(tree, e.child(), q, probe))
                 .sum()
         }
-        rec(self, self.root, q)
+        let mut span = lbq_obs::span("rtree-window");
+        let before = self.stats();
+        let mut probe = QueryProbe::default();
+        let count = rec(self, self.root, q, &mut probe);
+        span.record("results", count);
+        self.finish_query_span(&mut span, &probe, before);
+        count
     }
 
     /// Counts tree nodes whose MBR intersects `q`, and those fully

@@ -31,6 +31,17 @@ impl Stats {
             page_faults: self.page_faults + other.page_faults,
         }
     }
+
+    /// Element-wise difference from an `earlier` snapshot of the same
+    /// counters. Saturating: if the counters were reset in between
+    /// (see [`crate::RTree::take_stats`]), the delta clamps to zero
+    /// instead of wrapping.
+    pub fn delta_since(self, earlier: Stats) -> Stats {
+        Stats {
+            node_accesses: self.node_accesses.saturating_sub(earlier.node_accesses),
+            page_faults: self.page_faults.saturating_sub(earlier.page_faults),
+        }
+    }
 }
 
 /// Interior-mutable counter pair used by the tree (`&self` queries).

@@ -35,6 +35,7 @@
 //!   `ablation_tpnn_bound` benchmark quantifies the trade.
 
 use crate::node::{Item, NodeId};
+use crate::probe::QueryProbe;
 use crate::tree::RTree;
 use crate::util::OrdF64;
 use lbq_geom::{Point, Rect, Vec2};
@@ -91,6 +92,25 @@ impl RTree {
         inner: &[Item],
         bound: TpBound,
     ) -> Option<TpEvent> {
+        let mut span = lbq_obs::span("rtree-tpnn");
+        let before = self.stats();
+        let mut probe = QueryProbe::default();
+        let out = self.tp_knn_probed(q, dir, t_max, inner, bound, &mut probe);
+        span.record("inner", inner.len());
+        span.record("found", out.is_some());
+        self.finish_query_span(&mut span, &probe, before);
+        out
+    }
+
+    fn tp_knn_probed(
+        &self,
+        q: Point,
+        dir: Vec2,
+        t_max: f64,
+        inner: &[Item],
+        bound: TpBound,
+        probe: &mut QueryProbe,
+    ) -> Option<TpEvent> {
         assert!(!inner.is_empty(), "TP query needs the current result set");
         debug_assert!(
             (dir.norm() - 1.0).abs() < lbq_geom::EPS,
@@ -111,12 +131,14 @@ impl RTree {
         let mut best: Option<TpEvent> = None;
 
         while let Some(Reverse((OrdF64(lb), node_id))) = queue.pop() {
+            probe.pop();
             let horizon = best.as_ref().map_or(t_max, |e| e.time.min(t_max));
             if lb > horizon {
                 break;
             }
             self.access(node_id);
             let node = self.node(node_id);
+            probe.visit(node.level);
             if node.is_leaf() {
                 for e in &node.entries {
                     let item = e.item();

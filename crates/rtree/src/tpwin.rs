@@ -15,6 +15,7 @@
 //!   — the Minkowski region of the whole subtree).
 
 use crate::node::{Item, NodeId};
+use crate::probe::QueryProbe;
 use crate::tree::RTree;
 use crate::util::OrdF64;
 use lbq_geom::{Point, Rect, Vec2};
@@ -53,6 +54,27 @@ impl RTree {
         hy: f64,
         result: &[Item],
     ) -> Option<TpWindowEvent> {
+        let mut span = lbq_obs::span("rtree-tp-window");
+        let before = self.stats();
+        let mut probe = QueryProbe::default();
+        let out = self.tp_window_probed(c, dir, t_max, hx, hy, result, &mut probe);
+        span.record("result-size", result.len());
+        span.record("found", out.is_some());
+        self.finish_query_span(&mut span, &probe, before);
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn tp_window_probed(
+        &self,
+        c: Point,
+        dir: Vec2,
+        t_max: f64,
+        hx: f64,
+        hy: f64,
+        result: &[Item],
+        probe: &mut QueryProbe,
+    ) -> Option<TpWindowEvent> {
         debug_assert!((dir.norm() - 1.0).abs() < lbq_geom::EPS, "dir must be unit");
         assert!(hx > 0.0 && hy > 0.0);
         let mut best: Option<TpWindowEvent> = None;
@@ -88,12 +110,14 @@ impl RTree {
             queue.push(Reverse((OrdF64::new(0.0), self.root)));
         }
         while let Some(Reverse((OrdF64(lb), node_id))) = queue.pop() {
+            probe.pop();
             let horizon = best.as_ref().map_or(t_max, |e| e.time.min(t_max));
             if lb > horizon {
                 break;
             }
             self.access(node_id);
             let node = self.node(node_id);
+            probe.visit(node.level);
             if node.is_leaf() {
                 for e in &node.entries {
                     let item = e.item();

@@ -88,15 +88,52 @@ impl RTree {
 
     /// Snapshot the access counters **and reset them**, so successive
     /// calls attribute cost to phases.
+    ///
+    /// **Prefer [`RTree::with_stats`]** for new code: this raw
+    /// snapshot-and-reset is easy to misuse — a nested or interleaved
+    /// query between two `take_stats` calls silently steals the outer
+    /// scope's counts, and resetting mid-run breaks any other meter
+    /// (including the `lbq_obs` per-query hooks, which are
+    /// delta-based and therefore survive a reset but lose attribution
+    /// for the query the reset lands inside). Kept for existing
+    /// phase-attribution harnesses.
     pub fn take_stats(&self) -> Stats {
         let s = self.stats.snapshot();
         self.stats.reset();
         s
     }
 
+    /// Runs `f` and returns its result together with the NA/PA cost
+    /// the tree incurred *inside* `f`, measured as a snapshot delta.
+    ///
+    /// Unlike [`RTree::take_stats`] this never resets the counters, so
+    /// scopes nest safely: an outer `with_stats` sees the sum of
+    /// everything inside it, inner scopes see only their own slice,
+    /// and concurrent users of [`RTree::stats`] are undisturbed.
+    ///
+    /// ```
+    /// # use lbq_rtree::{RTree, RTreeConfig, Item};
+    /// # use lbq_geom::Point;
+    /// # let mut tree = RTree::new(RTreeConfig::tiny());
+    /// # for i in 0..100 { tree.insert(Item::new(Point::new(i as f64, 0.0), i)); }
+    /// let (result, cost) = tree.with_stats(|t| t.knn(Point::new(3.0, 0.0), 4));
+    /// assert_eq!(result.len(), 4);
+    /// assert!(cost.node_accesses > 0);
+    /// ```
+    pub fn with_stats<R>(&self, f: impl FnOnce(&Self) -> R) -> (R, Stats) {
+        let before = self.stats.snapshot();
+        let out = f(self);
+        (out, self.stats.snapshot().delta_since(before))
+    }
+
     /// Current counters without resetting.
     pub fn stats(&self) -> Stats {
         self.stats.snapshot()
+    }
+
+    /// `true` when an LRU buffer is attached (PA < NA possible).
+    pub fn has_buffer(&self) -> bool {
+        self.buffer.borrow().is_some()
     }
 
     /// Registers a read of `node` with the meter and the buffer.

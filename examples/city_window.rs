@@ -11,9 +11,12 @@
 use lbq_core::LbqServer;
 use lbq_data::gr_like_sized;
 use lbq_geom::Vec2;
+use lbq_obs::ProfileTable;
 use lbq_rtree::{RTree, RTreeConfig};
 
 fn main() {
+    // `LBQ_TRACE=text|jsonl` streams every span/event to stderr.
+    lbq_obs::install_from_env();
     // A Greece-like street network: 23,268 segment centroids on an
     // 800 km square (the paper's GR dataset, synthesized).
     let data = gr_like_sized(23_268, 3);
@@ -65,13 +68,22 @@ fn main() {
         }
     }
 
+    println!();
+    let mut profile = ProfileTable::new("city window (400 pans)", &["quantity", "value"]);
+    profile
+        .row(&["server queries".to_string(), server_queries.to_string()])
+        .row(&["free pans".to_string(), free_pans.to_string()])
+        .row(&[
+            "o(1) conservative hits".to_string(),
+            conservative_hits.to_string(),
+        ])
+        .row(&[
+            "savings vs naive".to_string(),
+            format!("{:.1}%", (1.0 - server_queries as f64 / 400.0) * 100.0),
+        ]);
+    profile.print();
     println!(
-        "\n400 pans: {} server queries, {} free ({} decided by the \
-         constant-time conservative rectangle alone)",
-        server_queries, free_pans, conservative_hits
-    );
-    println!(
-        "naive client would have issued 400 queries — {:.1}% saved",
-        (1.0 - server_queries as f64 / 400.0) * 100.0
+        "\nthe conservative rectangle answers most pans in 4 comparisons; the \
+         exact region catches the rest; only real result changes hit the server"
     );
 }

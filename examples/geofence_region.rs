@@ -14,9 +14,12 @@ use lbq_core::client::delta_payload;
 use lbq_core::LbqServer;
 use lbq_data::na_like_sized;
 use lbq_geom::Vec2;
+use lbq_obs::ProfileTable;
 use lbq_rtree::{RTree, RTreeConfig};
 
 fn main() {
+    // `LBQ_TRACE=text|jsonl` streams every span/event to stderr.
+    lbq_obs::install_from_env();
     let data = na_like_sized(50_000, 17);
     let server = LbqServer::new(
         RTree::bulk_load(data.items.clone(), RTreeConfig::paper()),
@@ -59,16 +62,29 @@ fn main() {
         }
     }
 
-    println!(
-        "1000 steps ({:.0} km): {} server queries, {} free checks \
-         ({} by the O(1) safe disk), {} objects shipped in total",
-        1_000.0 * step / 1_000.0,
-        queries,
-        free,
-        disk_hits,
-        shipped
+    println!("after 1000 steps ({:.0} km):", 1_000.0 * step / 1_000.0);
+    let mut profile = ProfileTable::new(
+        "geofence region (1000 steps)",
+        &["quantity", "delta client", "naive client"],
     );
-    println!("a naive client would query 1000 times and ship {naive_shipped} objects");
+    profile
+        .row(&[
+            "server queries".to_string(),
+            queries.to_string(),
+            1_000.to_string(),
+        ])
+        .row(&[
+            "objects shipped".to_string(),
+            shipped.to_string(),
+            naive_shipped.to_string(),
+        ])
+        .row(&["free checks".to_string(), free.to_string(), "0".to_string()])
+        .row(&[
+            "o(1) safe-disk hits".to_string(),
+            disk_hits.to_string(),
+            "-".to_string(),
+        ]);
+    profile.print();
     println!(
         "→ region validity trades bytes (influence sets) for an {:.0}% cut in \
          round-trips — and round-trips are what drain a mobile link",

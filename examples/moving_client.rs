@@ -11,9 +11,12 @@ use lbq_core::baselines::Zl01Server;
 use lbq_core::client::{random_waypoint, simulate_nn, NnStrategy};
 use lbq_data::na_like_sized;
 use lbq_geom::Point;
+use lbq_obs::{fmt_ns, ProfileTable};
 use lbq_rtree::{RTree, RTreeConfig};
 
 fn main() {
+    // `LBQ_TRACE=text|jsonl` streams every span/event to stderr.
+    lbq_obs::install_from_env();
     // 30k populated places on a 7000 km square continent.
     let data = na_like_sized(30_000, 42);
     println!("dataset: {} ({} points)", data.name, data.len());
@@ -36,9 +39,11 @@ fn main() {
 
     let k = 1;
     println!("continuous {k}-NN monitoring (every strategy verified exact at every step):\n");
-    println!(
-        "{:<22} {:>14} {:>16} {:>14} {:>12}",
-        "strategy", "server queries", "objects shipped", "local checks", "savings"
+    let mut table = ProfileTable::new(
+        "nn strategies (k=1)",
+        &[
+            "strategy", "queries", "na", "pa", "shipped", "checks", "p50", "p95", "p99", "savings",
+        ],
     );
     for (name, strat) in [
         ("naive (re-query)", NnStrategy::Naive),
@@ -49,15 +54,24 @@ fn main() {
         ("TP (velocity)", NnStrategy::Tp),
     ] {
         let r = simulate_nn(&tree, data.universe, &traj, k, strat, Some(&zl01));
-        println!(
-            "{:<22} {:>14} {:>16} {:>14} {:>11.1}%",
-            name,
-            r.server_queries,
-            r.objects_shipped,
-            r.validity_checks,
-            r.savings_ratio() * 100.0
-        );
+        table.row(&[
+            name.to_string(),
+            r.server_queries.to_string(),
+            r.na.to_string(),
+            r.pa.to_string(),
+            r.objects_shipped.to_string(),
+            r.validity_checks.to_string(),
+            fmt_ns(r.latency.p50_ns),
+            fmt_ns(r.latency.p95_ns),
+            fmt_ns(r.latency.p99_ns),
+            format!("{:.1}%", r.savings_ratio() * 100.0),
+        ]);
     }
+    table.print();
+    println!();
+    // Workspace-global counters fed by the rtree probes and the client
+    // cache (na/pa here include the harness's verification queries).
+    lbq_obs::print_metrics("global counters");
 
     println!(
         "\nLBQ's validity region is exact (the full order-k Voronoi cell), so it \

@@ -7,9 +7,12 @@
 
 use lbq_core::LbqServer;
 use lbq_geom::{Point, Rect};
+use lbq_obs::ProfileTable;
 use lbq_rtree::{Item, RTree, RTreeConfig};
 
 fn main() {
+    // `LBQ_TRACE=text|jsonl` streams every span/event to stderr.
+    lbq_obs::install_from_env();
     // A 10 km × 10 km city with a handful of restaurants (meters).
     let universe = Rect::new(0.0, 0.0, 10_000.0, 10_000.0);
     let restaurants = [
@@ -81,4 +84,24 @@ fn main() {
         revalidations - 1,
         restaurants[fresh.result[0].id as usize].0
     );
+
+    println!();
+    let mut profile = ProfileTable::new("quickstart", &["quantity", "value"]);
+    profile
+        .row(&[
+            "region edges".to_string(),
+            resp.validity.edge_count().to_string(),
+        ])
+        .row(&[
+            "influence objects".to_string(),
+            resp.validity.influence_count().to_string(),
+        ])
+        .row(&["tpnn queries".to_string(), resp.tpnn_queries.to_string()])
+        .row(&[
+            "free local checks".to_string(),
+            (revalidations - 1).to_string(),
+        ]);
+    profile.print();
+    println!();
+    lbq_obs::print_metrics("global counters");
 }
