@@ -17,6 +17,19 @@ cargo run --release -q -p lbq-check
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+echo "== serve stress tests"
+cargo test --release -q -p lbq-serve --test stress
+
+echo "== serve_sweep smoke"
+out="$(cargo run --release -q -p lbq-bench --bin serve_sweep -- --quick)"
+echo "$out" | grep -q "== lbq-obs profile ==" || {
+    echo "ci: serve_sweep --quick did not print a profile table" >&2
+    exit 1
+}
+
 echo "== examples (text tracing + profile tables)"
 for ex in quickstart moving_client city_window geofence_region; do
     out="$(LBQ_TRACE=text cargo run --release -q -p lbq-core --example "$ex" 2>/dev/null)"
@@ -25,6 +38,11 @@ for ex in quickstart moving_client city_window geofence_region; do
         exit 1
     }
 done
+out="$(cargo run --release -q -p lbq-serve --example moving_fleet 2>/dev/null)"
+echo "$out" | grep -q "== lbq-obs profile ==" || {
+    echo "ci: example moving_fleet did not print a profile table" >&2
+    exit 1
+}
 
 echo "== moving_client jsonl trace"
 trace="$(mktemp)"

@@ -1,0 +1,164 @@
+//! Thread-sweep throughput bench for the `lbq-serve` engine.
+//!
+//! Sweeps worker counts and batch sizes over the paper's uniform
+//! 10k-point workload and reports, per configuration: batch throughput
+//! (queries/second), mean per-query service latency, and NA/PA per
+//! answered query (aggregate tree-counter delta divided by the queries
+//! that reached the tree). A final section turns the validity-region
+//! cache on to show the hit-rate amortization on a focus-reuse
+//! workload.
+//!
+//! ```text
+//! cargo run --release -p lbq-bench --bin serve_sweep            # full sweep
+//! cargo run --release -p lbq-bench --bin serve_sweep -- --quick # CI smoke
+//! ```
+//!
+//! Throughput scales with workers up to the machine's core count;
+//! on a single-core container every configuration collapses to the
+//! 1-thread rate (the sweep still exercises the full concurrent path).
+
+use lbq_core::LbqServer;
+use lbq_data::uniform;
+use lbq_geom::{Point, Rect};
+use lbq_obs::ProfileTable;
+use lbq_rng::Xoshiro256ss;
+use lbq_rtree::{RTree, RTreeConfig};
+use lbq_serve::{CacheConfig, Engine, EngineConfig, QueryReq};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn workload(count: usize, seed: u64) -> Vec<QueryReq> {
+    let mut rng = Xoshiro256ss::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let p = Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
+            if rng.gen_bool(0.5) {
+                QueryReq::knn(p, 1 + (rng.gen_range(0.0..4.0) as usize))
+            } else {
+                QueryReq::window(p, rng.gen_range(0.01..0.03), rng.gen_range(0.01..0.03))
+            }
+        })
+        .collect()
+}
+
+struct RunStats {
+    qps: f64,
+    mean_latency_ns: u64,
+    na_per_query: f64,
+    pa_per_query: f64,
+    hit_rate: f64,
+}
+
+/// Streams `reqs` through the engine in `batch`-sized submits and
+/// aggregates the run.
+fn run(engine: &Engine, reqs: &[QueryReq], batch: usize) -> RunStats {
+    let tree = engine.server().tree();
+    let before = tree.stats();
+    let start = Instant::now();
+    let mut latency_total = 0u64;
+    let mut hits = 0u64;
+    for chunk in reqs.chunks(batch) {
+        for resp in engine.submit(chunk.to_vec()) {
+            latency_total += resp.latency_ns;
+            hits += u64::from(resp.from_cache);
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let cost = tree.stats().delta_since(before);
+    let n = reqs.len() as f64;
+    let tree_queries = (reqs.len() as u64 - hits).max(1) as f64;
+    RunStats {
+        qps: n / elapsed,
+        mean_latency_ns: latency_total / reqs.len() as u64,
+        na_per_query: cost.node_accesses as f64 / tree_queries,
+        pa_per_query: cost.page_faults as f64 / tree_queries,
+        hit_rate: hits as f64 / n,
+    }
+}
+
+fn main() {
+    lbq_obs::install_from_env();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (queries, thread_sweep, batch_sweep): (usize, &[usize], &[usize]) = if quick {
+        (2_000, &[1, 2], &[64])
+    } else {
+        (20_000, &[1, 2, 4, 8], &[32, 256, 2048])
+    };
+
+    let data = uniform(10_000, Rect::new(0.0, 0.0, 1.0, 1.0), 42);
+    let server = Arc::new(LbqServer::new(
+        RTree::bulk_load(data.items.clone(), RTreeConfig::paper()),
+        data.universe,
+    ));
+    println!(
+        "dataset: {} | {} queries/run | available parallelism: {}\n",
+        data.name,
+        queries,
+        std::thread::available_parallelism().map_or(0, |n| n.get()),
+    );
+    let reqs = workload(queries, 7);
+
+    let mut table = ProfileTable::new(
+        "serve sweep (cache off)",
+        &["threads", "batch", "q/s", "mean-lat", "na/q", "pa/q"],
+    );
+    let mut baseline_qps = None;
+    for &threads in thread_sweep {
+        for &batch in batch_sweep {
+            let engine = Engine::new(
+                Arc::clone(&server),
+                EngineConfig {
+                    workers: threads,
+                    cache: CacheConfig::disabled(),
+                },
+            );
+            let s = run(&engine, &reqs, batch);
+            if threads == 1 && baseline_qps.is_none() {
+                baseline_qps = Some(s.qps);
+            }
+            table.row(&[
+                threads.to_string(),
+                batch.to_string(),
+                format!("{:.0}", s.qps),
+                lbq_obs::fmt_ns(s.mean_latency_ns),
+                format!("{:.1}", s.na_per_query),
+                format!("{:.1}", s.pa_per_query),
+            ]);
+        }
+    }
+    table.print();
+    println!();
+
+    // Cache section: a focus-reuse workload (each focus drawn from a
+    // small pool, as co-located clients produce) with the cache on.
+    let mut rng = Xoshiro256ss::seed_from_u64(99);
+    let pool: Vec<QueryReq> = workload(queries / 10, 13);
+    let reuse: Vec<QueryReq> = (0..queries)
+        .map(|_| pool[rng.gen_range(0.0..pool.len() as f64) as usize])
+        .collect();
+    let mut cached = ProfileTable::new(
+        "serve sweep (region cache on, focus-reuse workload)",
+        &["threads", "q/s", "hit-rate", "na/q"],
+    );
+    for &threads in thread_sweep {
+        let engine = Engine::new(Arc::clone(&server), EngineConfig::with_workers(threads));
+        let s = run(&engine, &reuse, *batch_sweep.last().unwrap_or(&256));
+        cached.row(&[
+            threads.to_string(),
+            format!("{:.0}", s.qps),
+            format!("{:.1}%", s.hit_rate * 100.0),
+            format!("{:.1}", s.na_per_query),
+        ]);
+    }
+    cached.print();
+
+    if let Some(&max_threads) = thread_sweep.last() {
+        println!(
+            "\nbaseline 1-thread throughput {:.0} q/s; sweep peaked at {} threads \
+             (scaling requires {} cores — see table).",
+            baseline_qps.unwrap_or(0.0),
+            max_threads,
+            max_threads
+        );
+    }
+}

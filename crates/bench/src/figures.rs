@@ -52,19 +52,22 @@ pub fn run_nn_workload(
     k: usize,
 ) -> NnWorkloadStats {
     tree.set_buffer_fraction(0.1);
-    tree.take_stats();
     let (mut areas, mut edges, mut sinfs, mut tpnns) =
         (Vec::new(), Vec::new(), Vec::new(), Vec::new());
     let (mut na_nn, mut na_tp, mut pa_nn, mut pa_tp) =
         (Vec::new(), Vec::new(), Vec::new(), Vec::new());
     for &q in queries {
-        let inner: Vec<Item> = tree.knn(q, k).into_iter().map(|(i, _)| i).collect();
-        let s1 = tree.take_stats();
+        let (inner, s1) = tree.with_stats(|t| {
+            t.knn(q, k)
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect::<Vec<Item>>()
+        });
         if inner.is_empty() {
             continue;
         }
-        let (validity, tpnn) = retrieve_influence_set(tree, q, &inner, universe);
-        let s2 = tree.take_stats();
+        let ((validity, tpnn), s2) =
+            tree.with_stats(|t| retrieve_influence_set(t, q, &inner, universe));
         areas.push(validity.area());
         edges.push(validity.edge_count() as f64);
         sinfs.push(validity.influence_count() as f64);
@@ -108,7 +111,6 @@ pub struct WindowWorkloadStats {
 /// Runs a location-based window workload.
 pub fn run_window_workload(tree: &RTree, universe: Rect, windows: &[Rect]) -> WindowWorkloadStats {
     tree.set_buffer_fraction(0.1);
-    tree.take_stats();
     let (mut areas, mut inner, mut outer) = (Vec::new(), Vec::new(), Vec::new());
     let (mut na1, mut na2, mut pa1, mut pa2) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
     for w in windows {
@@ -116,10 +118,10 @@ pub fn run_window_workload(tree: &RTree, universe: Rect, windows: &[Rect]) -> Wi
         let (hx, hy) = (w.width() / 2.0, w.height() / 2.0);
         // Phase 1: the result query; phase 2: only the extended-window
         // (outer-candidate) query, via the split entry point.
-        let result = tree.window(w);
-        let s1 = tree.take_stats();
-        let resp = lbq_core::window::window_validity_from_result(tree, c, hx, hy, universe, result);
-        let s2 = tree.take_stats();
+        let (result, s1) = tree.with_stats(|t| t.window(w));
+        let (resp, s2) = tree.with_stats(|t| {
+            lbq_core::window::window_validity_from_result(t, c, hx, hy, universe, result)
+        });
         if resp.result.is_empty() {
             continue;
         }
@@ -624,20 +626,24 @@ pub fn ablation_tpnn_bound(cfg: &ExpConfig) -> Table {
         let mut events = 0u64;
         for &q in &queries {
             let inner: Vec<RItem> = tree.knn(q, 1).into_iter().map(|(i, _)| i).collect();
-            tree.take_stats();
-            for dir_i in 0..4 {
-                let theta = dir_i as f64 * std::f64::consts::FRAC_PI_2 + 0.3;
-                let ev: Option<TpEvent> = tree.tp_knn_with_bound(
-                    q,
-                    lbq_geom::Vec2::from_angle(theta),
-                    0.5,
-                    &inner,
-                    bound,
-                );
-                events += ev.is_some() as u64;
-                count += 1;
-            }
-            na += tree.take_stats().node_accesses;
+            let (found, s) = tree.with_stats(|t| {
+                let mut found = 0u64;
+                for dir_i in 0..4 {
+                    let theta = dir_i as f64 * std::f64::consts::FRAC_PI_2 + 0.3;
+                    let ev: Option<TpEvent> = t.tp_knn_with_bound(
+                        q,
+                        lbq_geom::Vec2::from_angle(theta),
+                        0.5,
+                        &inner,
+                        bound,
+                    );
+                    found += ev.is_some() as u64;
+                    count += 1;
+                }
+                found
+            });
+            events += found;
+            na += s.node_accesses;
         }
         t.push(vec![code, na as f64 / count as f64, events as f64]);
     }
@@ -660,13 +666,13 @@ pub fn ablation_buffer(cfg: &ExpConfig) -> Table {
     );
     for frac in [0.01, 0.05, 0.1, 0.25, 0.5] {
         tree.set_buffer_fraction(frac);
-        tree.take_stats();
         let mut pa = 0u64;
         let mut na = 0u64;
         for &q in &queries {
-            let inner: Vec<Item> = tree.knn(q, 1).into_iter().map(|(i, _)| i).collect();
-            let _ = retrieve_influence_set(&tree, q, &inner, data.universe);
-            let s = tree.take_stats();
+            let (_, s) = tree.with_stats(|t| {
+                let inner: Vec<Item> = t.knn(q, 1).into_iter().map(|(i, _)| i).collect();
+                let _ = retrieve_influence_set(t, q, &inner, data.universe);
+            });
             pa += s.page_faults;
             na += s.node_accesses;
         }

@@ -34,10 +34,13 @@ pub const RULE_NAMES: [&str; 6] = [
 pub const APPROVED_EPS_MODULE: &str = "crates/geom/src/lib.rs";
 
 /// Crates whose library code must be panic-free (`no-unwrap-core`).
-pub const PANIC_FREE_CRATES: [&str; 6] = ["geom", "rtree", "voronoi", "hist", "core", "obs"];
+pub const PANIC_FREE_CRATES: [&str; 7] =
+    ["geom", "rtree", "voronoi", "hist", "core", "obs", "serve"];
 
 /// Crates whose public items must be documented (`pub-doc`).
-pub const DOC_CRATES: [&str; 3] = ["geom", "core", "obs"];
+pub const DOC_CRATES: [&str; 9] = [
+    "geom", "core", "obs", "voronoi", "hist", "rng", "data", "rtree", "serve",
+];
 
 /// One finding: rule, location, human-readable message.
 #[derive(Debug, Clone, PartialEq, Eq)]

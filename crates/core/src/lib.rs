@@ -131,10 +131,14 @@ impl LbqServer {
         region::region_with_validity(&self.tree, c, r, self.universe)
     }
 
-    /// Snapshot-and-reset the I/O counters (see
-    /// [`lbq_rtree::RTree::take_stats`]).
-    pub fn take_stats(&self) -> Stats {
-        self.tree.take_stats()
+    /// Runs `f` against this server and returns its result together
+    /// with the [`Stats`] delta the call incurred (see
+    /// [`lbq_rtree::RTree::with_stats`] for the metering contract,
+    /// including the caveat under concurrent access).
+    pub fn with_stats<R>(&self, f: impl FnOnce(&Self) -> R) -> (R, Stats) {
+        let before = self.tree.stats();
+        let out = f(self);
+        (out, self.tree.stats().delta_since(before))
     }
 }
 

@@ -161,11 +161,11 @@ mod tests {
     fn lazy_cost_grows_with_consumption() {
         let (tree, _) = build(3_000, 5);
         let q = Point::new(0.5, 0.5);
-        tree.take_stats();
-        let _: Vec<_> = tree.nearest_iter(q).take(1).collect();
-        let small = tree.take_stats().node_accesses;
-        let _: Vec<_> = tree.nearest_iter(q).take(1_500).collect();
-        let large = tree.take_stats().node_accesses;
+        let (_, small_stats) = tree.with_stats(|t| t.nearest_iter(q).take(1).collect::<Vec<_>>());
+        let small = small_stats.node_accesses;
+        let (_, large_stats) =
+            tree.with_stats(|t| t.nearest_iter(q).take(1_500).collect::<Vec<_>>());
+        let large = large_stats.node_accesses;
         assert!(
             small < large,
             "taking one neighbor ({small} NA) must cost less than 1500 ({large} NA)"

@@ -285,11 +285,10 @@ mod tests {
         let mut df_total = 0;
         for i in 0..50 {
             let q = Point::new((i % 10) as f64, (i / 5) as f64 * 0.9);
-            tree.take_stats();
-            let _ = tree.knn(q, 5);
-            bf_total += tree.take_stats().node_accesses;
-            let _ = tree.knn_depth_first(q, 5);
-            df_total += tree.take_stats().node_accesses;
+            let (_, bf) = tree.with_stats(|t| t.knn(q, 5));
+            bf_total += bf.node_accesses;
+            let (_, df) = tree.with_stats(|t| t.knn_depth_first(q, 5));
+            df_total += df.node_accesses;
         }
         assert!(
             bf_total <= df_total,

@@ -160,20 +160,16 @@ mod tests {
     #[test]
     fn empty_window_costs_one_access() {
         let (tree, _) = build(500, 11);
-        tree.take_stats();
-        let out = tree.window(&Rect::new(-50.0, -50.0, -40.0, -40.0));
+        let (out, s) = tree.with_stats(|t| t.window(&Rect::new(-50.0, -50.0, -40.0, -40.0)));
         assert!(out.is_empty());
-        let s = tree.take_stats();
         assert_eq!(s.node_accesses, 1, "only the root is read");
     }
 
     #[test]
     fn full_window_reads_every_node() {
         let (tree, _) = build(600, 13);
-        tree.take_stats();
-        let out = tree.window(&Rect::new(0.0, 0.0, 100.0, 100.0));
+        let (out, s) = tree.with_stats(|t| t.window(&Rect::new(0.0, 0.0, 100.0, 100.0)));
         assert_eq!(out.len(), 600);
-        let s = tree.take_stats();
         assert_eq!(s.node_accesses as usize, tree.node_count());
     }
 
@@ -184,9 +180,7 @@ mod tests {
         let (intersecting, contained) = tree.node_intersection_profile(&q);
         assert!(contained <= intersecting);
         // The window query visits exactly the intersecting nodes.
-        tree.take_stats();
-        let _ = tree.window(&q);
-        let s = tree.take_stats();
+        let (_, s) = tree.with_stats(|t| t.window(&q));
         assert_eq!(s.node_accesses, intersecting);
         // A universe query contains every node.
         let all = Rect::new(-1.0, -1.0, 101.0, 101.0);

@@ -9,8 +9,8 @@
 //! vanishes.
 
 use crate::node::NodeId;
-use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Cumulative access counters. Snapshot-and-reset with
 /// [`crate::RTree::take_stats`].
@@ -45,23 +45,27 @@ impl Stats {
 }
 
 /// Interior-mutable counter pair used by the tree (`&self` queries).
+///
+/// Atomics (relaxed) rather than `Cell` so a read-only tree can be
+/// shared across threads (`Arc<RTree>` in `lbq-serve`); uncontended
+/// relaxed increments cost the same as the former `Cell` bumps.
 #[derive(Debug, Default)]
 pub(crate) struct StatsCell {
-    pub node_accesses: Cell<u64>,
-    pub page_faults: Cell<u64>,
+    pub node_accesses: AtomicU64,
+    pub page_faults: AtomicU64,
 }
 
 impl StatsCell {
     pub(crate) fn snapshot(&self) -> Stats {
         Stats {
-            node_accesses: self.node_accesses.get(),
-            page_faults: self.page_faults.get(),
+            node_accesses: self.node_accesses.load(Ordering::Relaxed),
+            page_faults: self.page_faults.load(Ordering::Relaxed),
         }
     }
 
     pub(crate) fn reset(&self) {
-        self.node_accesses.set(0);
-        self.page_faults.set(0);
+        self.node_accesses.store(0, Ordering::Relaxed);
+        self.page_faults.store(0, Ordering::Relaxed);
     }
 }
 

@@ -420,11 +420,12 @@ mod tests {
         let q = Point::new(0.5, 0.5);
         let inner: Vec<Item> = tree.knn(q, 4).into_iter().map(|(i, _)| i).collect();
         let dir = Vec2::new(0.8, -0.6);
-        tree.take_stats();
-        let loose = tree.tp_knn_with_bound(q, dir, 1.0, &inner, TpBound::Loose);
-        let loose_na = tree.take_stats().node_accesses;
-        let exact = tree.tp_knn_with_bound(q, dir, 1.0, &inner, TpBound::Exact);
-        let exact_na = tree.take_stats().node_accesses;
+        let (loose, loose_stats) =
+            tree.with_stats(|t| t.tp_knn_with_bound(q, dir, 1.0, &inner, TpBound::Loose));
+        let loose_na = loose_stats.node_accesses;
+        let (exact, exact_stats) =
+            tree.with_stats(|t| t.tp_knn_with_bound(q, dir, 1.0, &inner, TpBound::Exact));
+        let exact_na = exact_stats.node_accesses;
         let want = brute_tp(&items, q, dir, 1.0, &inner);
         assert_eq!(loose.map(|e| e.object.id), want.map(|e| e.object.id));
         assert_eq!(exact.map(|e| e.object.id), want.map(|e| e.object.id));

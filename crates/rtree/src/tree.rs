@@ -5,10 +5,18 @@ use crate::stats::{LruBuffer, Stats, StatsCell};
 use crate::util::{idx, node_id};
 use crate::RTreeConfig;
 use lbq_geom::Rect;
-use std::cell::RefCell;
+use std::sync::atomic::Ordering;
+use std::sync::Mutex;
 
 /// A disk-model R\*-tree over 2D points. See the crate docs for the
 /// feature inventory.
+///
+/// A built tree is `Send + Sync`: all read queries take `&self`, the
+/// NA/PA meter is relaxed atomics, and the simulated LRU buffer sits
+/// behind a `Mutex` — so an `Arc<RTree>` can be shared across worker
+/// threads (this is what `lbq-serve` does). Note the buffer lock makes
+/// *metering* a serialization point; `lbq-serve` benches therefore run
+/// unbuffered unless PA is being measured.
 #[derive(Debug)]
 pub struct RTree {
     pub(crate) nodes: Vec<Node>,
@@ -17,7 +25,10 @@ pub struct RTree {
     pub(crate) config: RTreeConfig,
     pub(crate) len: usize,
     pub(crate) stats: StatsCell,
-    pub(crate) buffer: RefCell<Option<LruBuffer>>,
+    pub(crate) buffer: Mutex<Option<LruBuffer>>,
+    /// Mirror of `buffer.is_some()`, so the unbuffered hot path can
+    /// skip the lock entirely (checked relaxed in [`RTree::access`]).
+    pub(crate) buffered: std::sync::atomic::AtomicBool,
 }
 
 impl RTree {
@@ -30,7 +41,8 @@ impl RTree {
             config,
             len: 0,
             stats: StatsCell::default(),
-            buffer: RefCell::new(None),
+            buffer: Mutex::new(None),
+            buffered: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -70,12 +82,21 @@ impl RTree {
     /// `(tree.node_count() as f64 * 0.1).ceil()` to reproduce the paper's
     /// "10% of the R-tree size" setting.
     pub fn set_buffer(&self, pages: usize) {
-        *self.buffer.borrow_mut() = Some(LruBuffer::new(pages));
+        *self.buf() = Some(LruBuffer::new(pages));
+        self.buffered.store(true, Ordering::Release);
     }
 
     /// Detaches the buffer (PA becomes equal to NA again).
     pub fn clear_buffer(&self) {
-        *self.buffer.borrow_mut() = None;
+        *self.buf() = None;
+        self.buffered.store(false, Ordering::Release);
+    }
+
+    /// Locks the buffer slot (poison-proof: the buffer is a meter, a
+    /// panicking query leaves it in a usable state).
+    #[inline]
+    pub(crate) fn buf(&self) -> std::sync::MutexGuard<'_, Option<LruBuffer>> {
+        self.buffer.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Convenience: attach a buffer sized as `fraction` of the current
@@ -95,8 +116,10 @@ impl RTree {
     /// scope's counts, and resetting mid-run breaks any other meter
     /// (including the `lbq_obs` per-query hooks, which are
     /// delta-based and therefore survive a reset but lose attribution
-    /// for the query the reset lands inside). Kept for existing
-    /// phase-attribution harnesses.
+    /// for the query the reset lands inside). Kept only so downstream
+    /// code has a deprecation cycle; every in-tree harness now uses
+    /// [`RTree::with_stats`].
+    #[deprecated(since = "0.1.0", note = "use `with_stats`: it nests and never resets")]
     pub fn take_stats(&self) -> Stats {
         let s = self.stats.snapshot();
         self.stats.reset();
@@ -110,6 +133,12 @@ impl RTree {
     /// scopes nest safely: an outer `with_stats` sees the sum of
     /// everything inside it, inner scopes see only their own slice,
     /// and concurrent users of [`RTree::stats`] are undisturbed.
+    ///
+    /// The meter is tree-global: when other threads query the same tree
+    /// concurrently, the delta includes their accesses too. For
+    /// per-query attribution under concurrency, scope aggregate deltas
+    /// around a whole parallel batch and divide (what `lbq-serve`'s
+    /// bench does), or measure single-threaded.
     ///
     /// ```
     /// # use lbq_rtree::{RTree, RTreeConfig, Item};
@@ -133,22 +162,27 @@ impl RTree {
 
     /// `true` when an LRU buffer is attached (PA < NA possible).
     pub fn has_buffer(&self) -> bool {
-        self.buffer.borrow().is_some()
+        self.buffered.load(Ordering::Acquire)
     }
 
     /// Registers a read of `node` with the meter and the buffer.
+    ///
+    /// The unbuffered path (the serving configuration) is lock-free:
+    /// two relaxed atomic increments. Only an attached LRU buffer — a
+    /// sequential disk-model simulation by nature — takes the lock.
     #[inline]
     pub(crate) fn access(&self, node: NodeId) {
-        self.stats
-            .node_accesses
-            .set(self.stats.node_accesses.get() + 1);
-        let mut buf = self.buffer.borrow_mut();
-        let faulted = match buf.as_mut() {
-            Some(b) => b.touch(node),
-            None => true, // unbuffered: every access is a page read
+        self.stats.node_accesses.fetch_add(1, Ordering::Relaxed);
+        let faulted = if self.buffered.load(Ordering::Relaxed) {
+            match self.buf().as_mut() {
+                Some(b) => b.touch(node),
+                None => true, // raced with clear_buffer: count as a read
+            }
+        } else {
+            true // unbuffered: every access is a page read
         };
         if faulted {
-            self.stats.page_faults.set(self.stats.page_faults.get() + 1);
+            self.stats.page_faults.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -310,6 +344,48 @@ mod tests {
     use lbq_geom::Point;
 
     #[test]
+    fn tree_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RTree>();
+        // The serving layer relies on exactly this bound:
+        assert_send_sync::<std::sync::Arc<RTree>>();
+    }
+
+    #[test]
+    fn concurrent_readers_meter_every_access() {
+        let mut t = RTree::new(RTreeConfig::tiny());
+        for i in 0..300 {
+            t.insert(Item::new(
+                Point::new((i * 37 % 100) as f64, (i * 53 % 100) as f64),
+                i,
+            ));
+        }
+        let t = std::sync::Arc::new(t);
+        let before = t.stats();
+        let handles: Vec<_> = (0..4)
+            .map(|w| {
+                let t = std::sync::Arc::clone(&t);
+                std::thread::spawn(move || {
+                    let mut per_thread = 0u64;
+                    for i in 0..50 {
+                        let q = Point::new((w * 13 + i) as f64 % 100.0, (i * 7) as f64 % 100.0);
+                        let (_, s) = t.with_stats(|t| t.knn(q, 3));
+                        per_thread += s.node_accesses;
+                    }
+                    per_thread
+                })
+            })
+            .collect();
+        let _ = handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>();
+        let delta = t.stats().delta_since(before);
+        // Relaxed increments lose nothing: the global meter advanced.
+        // (Per-thread with_stats deltas overlap under concurrency, so
+        // only the global total is asserted.)
+        assert!(delta.node_accesses > 0);
+        assert_eq!(delta.node_accesses, delta.page_faults); // unbuffered
+    }
+
+    #[test]
     fn empty_tree_shape() {
         let t = RTree::new(RTreeConfig::tiny());
         assert!(t.is_empty());
@@ -327,9 +403,7 @@ mod tests {
         for i in 0..100 {
             t.insert(Item::new(Point::new(i as f64, (i * 7 % 13) as f64), i));
         }
-        t.take_stats();
-        let _ = t.window(&Rect::new(0.0, 0.0, 50.0, 13.0));
-        let s = t.take_stats();
+        let (_, s) = t.with_stats(|t| t.window(&Rect::new(0.0, 0.0, 50.0, 13.0)));
         assert!(s.node_accesses > 0);
         assert_eq!(s.node_accesses, s.page_faults);
     }
@@ -344,12 +418,9 @@ mod tests {
             ));
         }
         t.set_buffer(t.node_count());
-        t.take_stats();
         let w = Rect::new(0.0, 0.0, 100.0, 100.0);
-        let _ = t.window(&w);
-        let first = t.take_stats();
-        let _ = t.window(&w);
-        let second = t.take_stats();
+        let (_, first) = t.with_stats(|t| t.window(&w));
+        let (_, second) = t.with_stats(|t| t.window(&w));
         // Second identical query: everything resident → zero faults.
         assert_eq!(second.page_faults, 0);
         assert_eq!(first.node_accesses, second.node_accesses);
@@ -420,6 +491,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn take_stats_resets() {
         let mut t = RTree::new(RTreeConfig::tiny());
         for i in 0..50 {

@@ -33,6 +33,7 @@ pub(crate) fn node_id(i: usize) -> NodeId {
 pub struct OrdF64(pub f64);
 
 impl OrdF64 {
+    /// Wraps `v`, debug-asserting it is not NaN.
     #[inline]
     pub fn new(v: f64) -> Self {
         debug_assert!(!v.is_nan(), "NaN entered a priority queue");

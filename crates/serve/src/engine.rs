@@ -1,0 +1,340 @@
+//! The batch engine: pool + cache + shared tree, glued together.
+
+use crate::cache::{CacheConfig, RegionCache};
+use crate::pool::{Job, Pool};
+use crate::{answer_on, QueryReq, QueryResp};
+use lbq_core::LbqServer;
+use lbq_obs::HistogramSummary;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Sizing of an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads (clamped to ≥ 1).
+    pub workers: usize,
+    /// Validity-region cache geometry ([`CacheConfig::disabled`] turns
+    /// the cache off, e.g. for measuring raw tree throughput).
+    pub cache: CacheConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get()),
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A config with `workers` threads and the default cache.
+    pub fn with_workers(workers: usize) -> Self {
+        EngineConfig {
+            workers,
+            ..Default::default()
+        }
+    }
+}
+
+/// Per-worker accounting, aggregated lock-free by the workers.
+#[derive(Debug, Default)]
+struct WorkerStats {
+    jobs: AtomicU64,
+    cache_hits: AtomicU64,
+    busy_ns: AtomicU64,
+    latency: lbq_obs::Histogram,
+}
+
+/// A point-in-time copy of one worker's counters, for reporting.
+#[derive(Debug, Clone)]
+pub struct WorkerSummary {
+    /// Worker index (thread `lbq-serve-<worker>`).
+    pub worker: usize,
+    /// Requests served.
+    pub jobs: u64,
+    /// Requests answered from the region cache.
+    pub cache_hits: u64,
+    /// Total busy time, nanoseconds.
+    pub busy_ns: u64,
+    /// Service-latency distribution of this worker.
+    pub latency: HistogramSummary,
+}
+
+/// State shared between `submit` and the jobs of one batch.
+struct Batch {
+    results: Mutex<Vec<Option<QueryResp>>>,
+    remaining: AtomicUsize,
+    done: Condvar,
+    done_lock: Mutex<bool>,
+}
+
+/// The concurrent batched query engine. See the crate docs for the
+/// architecture; construction is [`Engine::new`], the entry point is
+/// [`Engine::submit`].
+#[derive(Debug)]
+pub struct Engine {
+    server: Arc<LbqServer>,
+    cache: Arc<RegionCache>,
+    pool: Pool,
+    stats: Arc<Vec<WorkerStats>>,
+    batch_latency: lbq_obs::Histogram,
+}
+
+impl Engine {
+    /// Builds an engine over `server` with `config` workers and cache.
+    pub fn new(server: Arc<LbqServer>, config: EngineConfig) -> Self {
+        let pool = Pool::new(config.workers);
+        let stats = Arc::new(
+            (0..pool.workers())
+                .map(|_| WorkerStats::default())
+                .collect::<Vec<_>>(),
+        );
+        let cache = Arc::new(RegionCache::new(server.universe(), config.cache));
+        Engine {
+            server,
+            cache,
+            pool,
+            stats,
+            batch_latency: lbq_obs::histogram("serve-query-latency"),
+        }
+    }
+
+    /// The shared server (tree + universe) the engine answers from.
+    pub fn server(&self) -> &Arc<LbqServer> {
+        &self.server
+    }
+
+    /// The validity-region cache fronting the tree.
+    pub fn cache(&self) -> &RegionCache {
+        &self.cache
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Serves a batch: fans `reqs` out across the workers and blocks
+    /// until every request is answered. Responses come back in request
+    /// order. Window extents must be positive (checked up front, before
+    /// anything is enqueued).
+    pub fn submit(&self, reqs: Vec<QueryReq>) -> Vec<QueryResp> {
+        for r in &reqs {
+            if let QueryReq::Window { hx, hy, .. } = *r {
+                assert!(hx > 0.0 && hy > 0.0, "window extents must be positive");
+            }
+        }
+        let n = reqs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut span = lbq_obs::span("serve-batch");
+        span.record("batch-size", n as u64);
+        let batch = Arc::new(Batch {
+            results: Mutex::new((0..n).map(|_| None).collect()),
+            remaining: AtomicUsize::new(n),
+            done: Condvar::new(),
+            done_lock: Mutex::new(false),
+        });
+        let jobs: Vec<Job> = reqs
+            .into_iter()
+            .enumerate()
+            .map(|(idx, req)| {
+                let batch = Arc::clone(&batch);
+                let server = Arc::clone(&self.server);
+                let cache = Arc::clone(&self.cache);
+                let stats = Arc::clone(&self.stats);
+                let latency = self.batch_latency.clone();
+                Box::new(move |worker: usize| {
+                    let start = Instant::now();
+                    let (answer, from_cache) = match cache.lookup(&req) {
+                        Some(hit) => (hit, true),
+                        None => {
+                            let fresh = Arc::new(answer_on(&server, &req));
+                            cache.insert(&req, Arc::clone(&fresh));
+                            (fresh, false)
+                        }
+                    };
+                    let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    let ws = &stats[worker];
+                    ws.jobs.fetch_add(1, Ordering::Relaxed);
+                    ws.cache_hits
+                        .fetch_add(u64::from(from_cache), Ordering::Relaxed);
+                    ws.busy_ns.fetch_add(elapsed, Ordering::Relaxed);
+                    ws.latency.record_ns(elapsed);
+                    latency.record_ns(elapsed);
+                    let resp = QueryResp {
+                        answer,
+                        from_cache,
+                        worker,
+                        latency_ns: elapsed,
+                    };
+                    {
+                        let mut results = batch.results.lock().unwrap_or_else(|e| e.into_inner());
+                        results[idx] = Some(resp);
+                    }
+                    if batch.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        let mut flag = batch.done_lock.lock().unwrap_or_else(|e| e.into_inner());
+                        *flag = true;
+                        drop(flag);
+                        batch.done.notify_all();
+                    }
+                }) as Job
+            })
+            .collect();
+        self.pool.push_all(jobs);
+
+        let mut flag = batch.done_lock.lock().unwrap_or_else(|e| e.into_inner());
+        while !*flag {
+            flag = batch.done.wait(flag).unwrap_or_else(|e| e.into_inner());
+        }
+        drop(flag);
+
+        let mut results = batch.results.lock().unwrap_or_else(|e| e.into_inner());
+        let out: Vec<QueryResp> = results
+            .drain(..)
+            .map(|r| {
+                // Remaining hit zero, so every slot was filled by its worker.
+                // lbq-check: allow(no-unwrap-core)
+                r.expect("batch slot filled once remaining reaches zero")
+            })
+            .collect();
+        let hits = out.iter().filter(|r| r.from_cache).count();
+        span.record("cache-hits", hits as u64);
+        record_hit_counters(hits as u64, (n - hits) as u64);
+        out
+    }
+
+    /// Per-worker accounting snapshots, index-aligned with the threads.
+    pub fn worker_summaries(&self) -> Vec<WorkerSummary> {
+        self.stats
+            .iter()
+            .enumerate()
+            .map(|(worker, ws)| WorkerSummary {
+                worker,
+                jobs: ws.jobs.load(Ordering::Relaxed),
+                cache_hits: ws.cache_hits.load(Ordering::Relaxed),
+                busy_ns: ws.busy_ns.load(Ordering::Relaxed),
+                latency: ws.latency.summary(),
+            })
+            .collect()
+    }
+
+    /// Renders the per-worker table (jobs, hits, busy time, latency
+    /// percentiles) in the workspace profile format.
+    pub fn profile_table(&self) -> lbq_obs::ProfileTable {
+        let mut t = lbq_obs::ProfileTable::new(
+            "lbq-serve workers",
+            &["worker", "jobs", "hits", "busy", "p50", "p95", "p99"],
+        );
+        for s in self.worker_summaries() {
+            t.row(&[
+                format!("lbq-serve-{}", s.worker),
+                s.jobs.to_string(),
+                s.cache_hits.to_string(),
+                lbq_obs::fmt_ns(s.busy_ns),
+                lbq_obs::fmt_ns(s.latency.p50_ns),
+                lbq_obs::fmt_ns(s.latency.p95_ns),
+                lbq_obs::fmt_ns(s.latency.p99_ns),
+            ]);
+        }
+        t
+    }
+}
+
+/// Feeds the global hit/miss counters (cached handles: metric lookup
+/// once per process, not per batch).
+fn record_hit_counters(hits: u64, misses: u64) {
+    use std::sync::OnceLock;
+    static HIT: OnceLock<lbq_obs::Counter> = OnceLock::new();
+    static MISS: OnceLock<lbq_obs::Counter> = OnceLock::new();
+    HIT.get_or_init(|| lbq_obs::counter("serve-cache-hit"))
+        .add(hits);
+    MISS.get_or_init(|| lbq_obs::counter("serve-cache-miss"))
+        .add(misses);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbq_geom::{Point, Rect};
+    use lbq_rtree::{Item, RTree, RTreeConfig};
+
+    fn grid_engine(workers: usize, cache: CacheConfig) -> Engine {
+        let universe = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let items: Vec<Item> = (0..100)
+            .map(|i| Item::new(Point::new((i % 10) as f64, (i / 10) as f64), i))
+            .collect();
+        let server = Arc::new(LbqServer::new(
+            RTree::bulk_load(items, RTreeConfig::tiny()),
+            universe,
+        ));
+        Engine::new(server, EngineConfig { workers, cache })
+    }
+
+    #[test]
+    fn empty_batch_returns_immediately() {
+        let engine = grid_engine(2, CacheConfig::default());
+        assert!(engine.submit(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn batch_answers_in_request_order() {
+        let engine = grid_engine(3, CacheConfig::disabled());
+        let reqs: Vec<QueryReq> = (0..40)
+            .map(|i| QueryReq::knn(Point::new((i % 10) as f64 + 0.3, (i / 4) as f64 * 0.9), 1))
+            .collect();
+        let resps = engine.submit(reqs.clone());
+        assert_eq!(resps.len(), reqs.len());
+        for (req, resp) in reqs.iter().zip(&resps) {
+            let expect = answer_on(engine.server(), req);
+            assert_eq!(resp.answer.result_ids(), expect.result_ids());
+            assert!(!resp.from_cache);
+        }
+    }
+
+    #[test]
+    fn repeat_batch_is_served_from_cache() {
+        let engine = grid_engine(2, CacheConfig::default());
+        // Distinct foci in distinct Voronoi cells: the first batch
+        // cannot hit (not even on its own insertions).
+        let reqs: Vec<QueryReq> = (0..5)
+            .map(|i| QueryReq::knn(Point::new(1.0 + i as f64 * 2.0, 5.1), 2))
+            .collect();
+        let first = engine.submit(reqs.clone());
+        assert!(first.iter().all(|r| !r.from_cache));
+        let second = engine.submit(reqs);
+        assert!(
+            second.iter().all(|r| r.from_cache),
+            "identical foci must hit"
+        );
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.answer.result_ids(), b.answer.result_ids());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window extents must be positive")]
+    fn rejects_degenerate_window_before_enqueue() {
+        let engine = grid_engine(1, CacheConfig::default());
+        let _ = engine.submit(vec![QueryReq::window(Point::new(5.0, 5.0), 0.0, 1.0)]);
+    }
+
+    #[test]
+    fn worker_accounting_adds_up() {
+        let engine = grid_engine(2, CacheConfig::default());
+        let reqs: Vec<QueryReq> = (0..30)
+            .map(|i| QueryReq::window(Point::new((i % 6) as f64 + 2.0, 5.0), 1.2, 1.2))
+            .collect();
+        let resps = engine.submit(reqs);
+        let summaries = engine.worker_summaries();
+        let total: u64 = summaries.iter().map(|s| s.jobs).sum();
+        assert_eq!(total, 30);
+        let hits: u64 = summaries.iter().map(|s| s.cache_hits).sum();
+        assert_eq!(hits, resps.iter().filter(|r| r.from_cache).count() as u64);
+        let table = engine.profile_table().render();
+        assert!(table.contains("lbq-serve-0"));
+    }
+}

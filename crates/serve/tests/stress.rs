@@ -1,0 +1,192 @@
+//! Concurrency stress tests: the parallel engine must be
+//! indistinguishable from the sequential server, byte for byte, and
+//! the validity-region cache must be exactly as correct as the regions
+//! it stores.
+//!
+//! No `loom` (the workspace is std-only): instead, determinism is
+//! exploited — every query path is a pure function of the immutable
+//! tree, so a parallel run can be compared against the sequential
+//! baseline via the full `Debug` rendering of each response (floats
+//! included). Any torn read, lost write, or cross-thread interference
+//! would show up as a mismatch.
+
+use lbq_core::LbqServer;
+use lbq_data::uniform;
+use lbq_geom::{Point, Rect};
+use lbq_rng::Xoshiro256ss;
+use lbq_rtree::{RTree, RTreeConfig};
+use lbq_serve::{answer_on, CacheConfig, Engine, EngineConfig, QueryReq};
+use std::sync::Arc;
+
+fn build_server(n: usize, seed: u64) -> Arc<LbqServer> {
+    let data = uniform(n, Rect::new(0.0, 0.0, 1.0, 1.0), seed);
+    Arc::new(LbqServer::new(
+        RTree::bulk_load(data.items, RTreeConfig::tiny()),
+        data.universe,
+    ))
+}
+
+/// A deterministic mixed workload: kNN (k 1–8) and window requests
+/// scattered over the unit universe.
+fn workload(count: usize, seed: u64) -> Vec<QueryReq> {
+    let mut rng = Xoshiro256ss::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let p = Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
+            if rng.gen_bool(0.5) {
+                QueryReq::knn(p, 1 + (rng.gen_range(0.0..8.0) as usize))
+            } else {
+                QueryReq::window(p, rng.gen_range(0.01..0.05), rng.gen_range(0.01..0.05))
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_results_byte_identical_to_sequential() {
+    let server = build_server(5_000, 7);
+    let reqs = workload(400, 11);
+    let baseline: Vec<String> = reqs
+        .iter()
+        .map(|r| format!("{:?}", answer_on(&server, r)))
+        .collect();
+    for workers in [2, 4, 8] {
+        let engine = Engine::new(
+            Arc::clone(&server),
+            EngineConfig {
+                workers,
+                cache: CacheConfig::disabled(),
+            },
+        );
+        let resps = engine.submit(reqs.clone());
+        assert_eq!(resps.len(), baseline.len());
+        for (i, (resp, expect)) in resps.iter().zip(&baseline).enumerate() {
+            assert!(!resp.from_cache, "cache disabled");
+            assert_eq!(
+                format!("{:?}", resp.answer),
+                *expect,
+                "request {i} diverged under {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_submitters_each_get_exact_results() {
+    let server = build_server(3_000, 23);
+    let engine = Arc::new(Engine::new(
+        Arc::clone(&server),
+        EngineConfig {
+            workers: 4,
+            cache: CacheConfig::disabled(),
+        },
+    ));
+    // 4 submitter threads share the engine, each with its own batch;
+    // batches interleave in the worker queue.
+    let handles: Vec<_> = (0..4u64)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let reqs = workload(150, 100 + t);
+                let resps = engine.submit(reqs.clone());
+                for (req, resp) in reqs.iter().zip(&resps) {
+                    assert_eq!(
+                        format!("{:?}", resp.answer),
+                        format!("{:?}", answer_on(&server, req)),
+                        "submitter {t} got a foreign or corrupted response"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("submitter thread panicked");
+    }
+}
+
+#[test]
+fn cached_hit_returns_exact_cached_result_set() {
+    let server = build_server(2_000, 31);
+    let engine = Engine::new(Arc::clone(&server), EngineConfig::with_workers(2));
+
+    let anchor = QueryReq::knn(Point::new(0.41, 0.63), 3);
+    let first = engine.submit(vec![anchor]);
+    assert!(!first[0].from_cache);
+    let region_holds = |p: Point| first[0].answer.valid_at(p);
+
+    // Pick a probe point strictly inside the anchor's validity region
+    // by walking toward the anchor focus from a nearby offset.
+    let mut probe = Point::new(0.41 + 3e-4, 0.63 - 2e-4);
+    assert!(
+        region_holds(probe) || {
+            probe = anchor.focus();
+            true
+        }
+    );
+    let hit = engine.submit(vec![QueryReq::knn(probe, 3)]);
+    assert!(hit[0].from_cache, "focus inside cached region must hit");
+    // The exact cached result set (same Arc, even).
+    assert!(Arc::ptr_eq(&hit[0].answer, &first[0].answer));
+    assert_eq!(hit[0].answer.result_ids(), first[0].answer.result_ids());
+
+    // A focus outside the region misses and recomputes.
+    let outside = Point::new(0.91, 0.13);
+    assert!(!region_holds(outside));
+    let miss = engine.submit(vec![QueryReq::knn(outside, 3)]);
+    assert!(!miss[0].from_cache, "focus outside cached region must miss");
+    // And the recomputed answer matches the sequential server.
+    assert_eq!(
+        miss[0].answer.result_ids(),
+        answer_on(&server, &QueryReq::knn(outside, 3)).result_ids()
+    );
+}
+
+#[test]
+fn cached_window_hit_is_exact() {
+    let server = build_server(2_000, 37);
+    let engine = Engine::new(Arc::clone(&server), EngineConfig::with_workers(2));
+    let anchor = QueryReq::window(Point::new(0.5, 0.5), 0.06, 0.04);
+    let first = engine.submit(vec![anchor]);
+    assert!(!first[0].from_cache);
+
+    // Inside the inner rectangle the result set cannot change.
+    let nudged = QueryReq::window(anchor.focus(), 0.06, 0.04);
+    let hit = engine.submit(vec![nudged]);
+    assert!(hit[0].from_cache);
+    assert_eq!(hit[0].answer.result_ids(), first[0].answer.result_ids());
+
+    // Same focus, different window shape: a different query — miss.
+    let other = engine.submit(vec![QueryReq::window(anchor.focus(), 0.05, 0.04)]);
+    assert!(!other[0].from_cache);
+}
+
+#[test]
+fn engine_under_cache_still_matches_sequential_result_sets() {
+    // With the cache ON, responses may be anchored at an earlier
+    // equivalent query — but the *result sets* must still be exactly
+    // what the sequential server would return (that is Lemma 3.1/3.2
+    // doing its job at serving time).
+    let server = build_server(4_000, 43);
+    let engine = Engine::new(Arc::clone(&server), EngineConfig::with_workers(4));
+    // A workload with heavy focus reuse to actually exercise hits.
+    let base = workload(120, 51);
+    let mut reqs = Vec::new();
+    let mut rng = Xoshiro256ss::seed_from_u64(99);
+    for _ in 0..600 {
+        reqs.push(base[rng.gen_range(0.0..base.len() as f64) as usize]);
+    }
+    let resps = engine.submit(reqs.clone());
+    let mut hits = 0;
+    for (req, resp) in reqs.iter().zip(&resps) {
+        hits += usize::from(resp.from_cache);
+        assert_eq!(
+            resp.answer.result_ids(),
+            answer_on(&server, req).result_ids(),
+            "cache served a wrong result set"
+        );
+    }
+    assert!(hits > 0, "repeated foci should produce cache hits");
+    let stats = engine.cache().stats();
+    assert_eq!(stats.hits as usize, hits);
+}

@@ -62,18 +62,16 @@ fn buffer_absorbs_the_second_window_query() {
     let mut na2_total = 0.0;
     let mut pa2_total = 0.0;
     let mut counted = 0;
-    tree.take_stats();
     for w in &windows {
         let c = w.center();
         let (hx, hy) = (w.width() / 2.0, w.height() / 2.0);
         let result = tree.window(w);
-        tree.take_stats();
         if result.is_empty() {
             continue;
         }
-        let _ =
-            lbq_core::window::window_validity_from_result(&tree, c, hx, hy, data.universe, result);
-        let s2 = tree.take_stats();
+        let (_, s2) = tree.with_stats(|t| {
+            lbq_core::window::window_validity_from_result(t, c, hx, hy, data.universe, result)
+        });
         na2_total += s2.node_accesses as f64;
         pa2_total += s2.page_faults as f64;
         counted += 1;

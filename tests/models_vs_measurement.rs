@@ -106,11 +106,12 @@ fn rtree_cost_model_tracks_measurement() {
     let model = analysis::RtreeCostModel::paper(n as f64);
     for frac in [0.001f64, 0.01] {
         let windows = window_queries_frac(&data, 100, frac, 8);
-        tree.take_stats();
-        for w in &windows {
-            let _ = tree.window(w);
-        }
-        let measured = tree.take_stats().node_accesses as f64 / windows.len() as f64;
+        let (_, s) = tree.with_stats(|t| {
+            for w in &windows {
+                let _ = t.window(w);
+            }
+        });
+        let measured = s.node_accesses as f64 / windows.len() as f64;
         let q = frac.sqrt();
         let est = model.window_na(q, q);
         let ratio = measured / est;
