@@ -44,6 +44,12 @@ echo "$out" | grep -q "== lbq-obs profile ==" || {
     exit 1
 }
 
+echo "== pr4 bench smoke (zero-allocation steady state)"
+cargo run --release -q -p lbq-bench --bin pr4_bench -- --quick >/dev/null
+
+echo "== pr4 bench artifact check"
+cargo run --release -q -p lbq-bench --bin pr4_bench -- --check BENCH_PR4.json
+
 echo "== moving_client jsonl trace"
 trace="$(mktemp)"
 LBQ_TRACE=jsonl cargo run --release -q -p lbq-core --example moving_client 2>"$trace" >/dev/null

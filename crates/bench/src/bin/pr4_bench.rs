@@ -1,0 +1,589 @@
+//! Before/after harness for the SoA node layout + query-scratch change,
+//! emitting machine-readable `BENCH_PR4.json`.
+//!
+//! Four hot-path entries, each measured as ns/op and allocations/op
+//! under a counting global allocator:
+//!
+//! | entry | before (legacy AoS, allocating) | after (SoA + scratch) |
+//! |---|---|---|
+//! | `knn` | `LegacyTree::knn` (heap + `HashMap` per query) | `RTree::knn_in` |
+//! | `tpnn` | `LegacyTree::tp_knn` (fresh queue per call) | `RTree::tp_knn_in` |
+//! | `validity_region` | `LegacyTree::retrieve_influence_set` | `retrieve_influence_set_in` |
+//! | `serve_batch` | sequential legacy kNN-with-validity batch | `answer_on_with` batch on one worker scratch |
+//!
+//! Both sides run identically shaped STR trees over the same items (see
+//! `lbq_bench::legacy`), so the deltas isolate layout + allocation.
+//!
+//! Modes:
+//!
+//! * default (full): paper-scale dataset, asserts the validity-region
+//!   path is ≥ 1.5× faster and that steady-state `knn_in` / `tp_nn_in`
+//!   calls allocate nothing, writes `BENCH_PR4.json` in the CWD;
+//! * `--quick`: ~10× smaller CI smoke — runs every entry and the
+//!   zero-allocation assertions, skips the speedup assertion (timing on
+//!   loaded CI boxes is noise), writes `target/BENCH_PR4.quick.json`;
+//! * `--check <file>`: parses an existing report and asserts it carries
+//!   all four entries with before/after numbers; no benchmarking.
+
+use lbq_bench::legacy::LegacyTree;
+use lbq_core::LbqServer;
+use lbq_geom::{Point, Rect, Vec2};
+use lbq_rtree::{Item, QueryScratch, RTree, RTreeConfig};
+use lbq_serve::{answer_on_with, QueryReq};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// A pass-through allocator that counts every allocation into the
+/// `lbq_obs` bare-atomic hook. `realloc` counts as one allocation (it
+/// may move), `dealloc` is free.
+struct CountingAlloc;
+
+// The workspace denies `unsafe_code`; a `#[global_allocator]` is the
+// one place it cannot be avoided — the trait itself is unsafe. Scope
+// the allowance to exactly this impl.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        lbq_obs::note_alloc();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        lbq_obs::note_alloc();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// One before/after measurement.
+struct Entry {
+    name: &'static str,
+    before_ns: f64,
+    after_ns: f64,
+    before_allocs: f64,
+    after_allocs: f64,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        // lbq-check: allow(local-epsilon) — divide-by-zero floor, not a tolerance
+        self.before_ns / self.after_ns.max(1e-9)
+    }
+}
+
+/// Times a before/after pair over `iters` iterations each and returns
+/// `((before ns/op, before allocs/op), (after ns/op, after allocs/op))`.
+///
+/// The two sides run as **interleaved batches** (before, after, before,
+/// after, …, five rounds) and each side reports its fastest batch: the
+/// minimum is the standard noise-robust estimator (anything slower is
+/// interference, never the code), and interleaving makes machine-load
+/// drift hit both sides alike instead of skewing the ratio. Allocations
+/// are exact and identical across batches, so they come from the last
+/// round alone.
+fn measure_pair<A, B>(
+    iters: usize,
+    mut before: impl FnMut(usize) -> A,
+    mut after: impl FnMut(usize) -> B,
+) -> ((f64, f64), (f64, f64)) {
+    // Warm up: touch every code path and let scratch buffers grow.
+    for i in 0..iters.min(16) {
+        black_box(before(i));
+        black_box(after(i));
+    }
+    let mut before_ns = f64::INFINITY;
+    let mut after_ns = f64::INFINITY;
+    let mut before_allocs = 0u64;
+    let mut after_allocs = 0u64;
+    for _ in 0..5 {
+        let a0 = lbq_obs::alloc_count();
+        let t = Instant::now();
+        for i in 0..iters {
+            black_box(before(i));
+        }
+        before_ns = before_ns.min(t.elapsed().as_secs_f64() * 1e9);
+        before_allocs = lbq_obs::alloc_count() - a0;
+        let a0 = lbq_obs::alloc_count();
+        let t = Instant::now();
+        for i in 0..iters {
+            black_box(after(i));
+        }
+        after_ns = after_ns.min(t.elapsed().as_secs_f64() * 1e9);
+        after_allocs = lbq_obs::alloc_count() - a0;
+    }
+    let per_op = |ns: f64, allocs: u64| (ns / iters as f64, allocs as f64 / iters as f64);
+    (
+        per_op(before_ns, before_allocs),
+        per_op(after_ns, after_allocs),
+    )
+}
+
+fn random_items(n: usize, seed: u64) -> Vec<Item> {
+    let mut rng = lbq_rng::Xoshiro256ss::seed_from_u64(seed);
+    (0..n)
+        .map(|i| Item::new(Point::new(rng.gen_f64(), rng.gen_f64()), i as u64))
+        .collect()
+}
+
+fn random_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = lbq_rng::Xoshiro256ss::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(0.05 + 0.9 * rng.gen_f64(), 0.05 + 0.9 * rng.gen_f64()))
+        .collect()
+}
+
+struct Report {
+    mode: &'static str,
+    n: usize,
+    queries: usize,
+    entries: Vec<Entry>,
+    knn_in_steady_allocs: u64,
+    tp_nn_in_steady_allocs: u64,
+}
+
+fn run(quick: bool) -> Report {
+    let (mut n, queries, batch) = if quick {
+        (10_000, 64, 16)
+    } else {
+        (400_000, 256, 64)
+    };
+    // PR4_N overrides the dataset size (scaling experiments).
+    if let Ok(env_n) = std::env::var("PR4_N") {
+        if let Ok(v) = env_n.parse::<usize>() {
+            n = v.max(1000);
+        }
+    }
+    let universe = Rect::new(0.0, 0.0, 1.0, 1.0);
+    let config = RTreeConfig::paper();
+    let items = random_items(n, 0xC0FFEE);
+    println!(
+        "pr4_bench: n={n}, queries={queries}, fanout={}",
+        config.max_entries
+    );
+
+    let live = RTree::bulk_load(items.clone(), config);
+    let legacy = LegacyTree::bulk_load(items, config);
+    let server = LbqServer::new(
+        RTree::bulk_load(random_items(n, 0xC0FFEE), config),
+        universe,
+    );
+    let foci = random_points(queries, 7);
+    let dirs: Vec<Vec2> = {
+        let mut rng = lbq_rng::Xoshiro256ss::seed_from_u64(11);
+        (0..queries)
+            .map(|_| {
+                let a = rng.gen_f64() * std::f64::consts::TAU;
+                Vec2::new(a.cos(), a.sin())
+            })
+            .collect()
+    };
+    // Shared fixtures: each focus's NN (computed on the live tree; the
+    // legacy test suite proves both trees agree) as the TPNN inner set.
+    let mut scratch = QueryScratch::new();
+    let inners: Vec<Item> = foci
+        .iter()
+        .map(|&q| live.knn_in(q, 1, &mut scratch)[0].0)
+        .collect();
+
+    let mut entries = Vec::new();
+
+    // -- knn ----------------------------------------------------------
+    let k = 10;
+    let ((before_ns, before_allocs), (after_ns, after_allocs)) = measure_pair(
+        queries,
+        |i| legacy.knn(foci[i % queries], k).len(),
+        |i| live.knn_in(foci[i % queries], k, &mut scratch).len(),
+    );
+    entries.push(Entry {
+        name: "knn",
+        before_ns,
+        after_ns,
+        before_allocs,
+        after_allocs,
+    });
+
+    // -- tpnn ---------------------------------------------------------
+    let t_max = 0.25;
+    let ((before_ns, before_allocs), (after_ns, after_allocs)) = measure_pair(
+        queries,
+        |i| {
+            let j = i % queries;
+            legacy
+                .tp_knn(foci[j], dirs[j], t_max, std::slice::from_ref(&inners[j]))
+                .map(|e| e.object.id)
+        },
+        |i| {
+            let j = i % queries;
+            live.tp_nn_in(foci[j], dirs[j], t_max, inners[j], &mut scratch)
+                .map(|e| e.object.id)
+        },
+    );
+    entries.push(Entry {
+        name: "tpnn",
+        before_ns,
+        after_ns,
+        before_allocs,
+        after_allocs,
+    });
+
+    // -- validity_region ----------------------------------------------
+    let region_iters = queries.min(128);
+    let ((before_ns, before_allocs), (after_ns, after_allocs)) = measure_pair(
+        region_iters,
+        |i| {
+            let j = i % queries;
+            legacy
+                .retrieve_influence_set(foci[j], std::slice::from_ref(&inners[j]), universe)
+                .2
+        },
+        |i| {
+            let j = i % queries;
+            lbq_core::retrieve_influence_set_in(
+                &live,
+                foci[j],
+                std::slice::from_ref(&inners[j]),
+                universe,
+                &mut scratch,
+            )
+            .1
+        },
+    );
+    entries.push(Entry {
+        name: "validity_region",
+        before_ns,
+        after_ns,
+        before_allocs,
+        after_allocs,
+    });
+
+    // -- serve_batch --------------------------------------------------
+    // What one serve worker does for a batch of kNN-with-validity
+    // requests: before = the legacy pipeline per request, after = the
+    // engine miss path on the worker's thread-owned scratch. Pool
+    // dispatch overhead is identical either way and excluded.
+    let reqs: Vec<QueryReq> = (0..batch)
+        .map(|i| QueryReq::knn(foci[i % queries], 4))
+        .collect();
+    let batch_iters = (queries / batch).max(4);
+    let ((before_ns, before_allocs), (after_ns, after_allocs)) = measure_pair(
+        batch_iters,
+        |_| {
+            let mut served = 0usize;
+            for r in &reqs {
+                if let QueryReq::Knn { q, k } = *r {
+                    served += legacy.knn_with_validity(q, k, universe).0.len();
+                }
+            }
+            served
+        },
+        |_| {
+            let mut served = 0usize;
+            for r in &reqs {
+                served += answer_on_with(&server, r, &mut scratch).result_ids().len();
+            }
+            served
+        },
+    );
+    entries.push(Entry {
+        name: "serve_batch",
+        before_ns,
+        after_ns,
+        before_allocs,
+        after_allocs,
+    });
+
+    // -- steady-state zero-allocation proof ---------------------------
+    // Warm the scratch on the exact call shapes first, then demand not
+    // one allocation across a measured run.
+    for j in 0..queries.min(32) {
+        let _ = black_box(live.knn_in(foci[j], k, &mut scratch).len());
+        let _ = black_box(live.tp_nn_in(foci[j], dirs[j], t_max, inners[j], &mut scratch));
+    }
+    let a0 = lbq_obs::alloc_count();
+    for i in 0..200 {
+        let j = i % queries;
+        let _ = black_box(live.knn_in(foci[j], k, &mut scratch).len());
+    }
+    let knn_in_steady_allocs = lbq_obs::alloc_count() - a0;
+    let a0 = lbq_obs::alloc_count();
+    for i in 0..200 {
+        let j = i % queries;
+        let _ = black_box(live.tp_nn_in(foci[j], dirs[j], t_max, inners[j], &mut scratch));
+    }
+    let tp_nn_in_steady_allocs = lbq_obs::alloc_count() - a0;
+    lbq_obs::publish_alloc_gauge();
+
+    Report {
+        mode: if quick { "quick" } else { "full" },
+        n,
+        queries,
+        entries,
+        knn_in_steady_allocs,
+        tp_nn_in_steady_allocs,
+    }
+}
+
+fn render_json(r: &Report) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"pr4-soa-scratch\",\n");
+    s.push_str(&format!("  \"mode\": \"{}\",\n", r.mode));
+    s.push_str(&format!(
+        "  \"dataset\": {{\"n\": {}, \"queries\": {}}},\n",
+        r.n, r.queries
+    ));
+    s.push_str("  \"entries\": [\n");
+    for (i, e) in r.entries.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"before_ns\": {:.1}, \"after_ns\": {:.1}, \"speedup\": {:.3}, \"before_allocs\": {:.2}, \"after_allocs\": {:.2}}}{}\n",
+            e.name,
+            e.before_ns,
+            e.after_ns,
+            e.speedup(),
+            e.before_allocs,
+            e.after_allocs,
+            if i + 1 < r.entries.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"steady_state\": {{\"knn_in_allocs\": {}, \"tp_nn_in_allocs\": {}}}\n",
+        r.knn_in_steady_allocs, r.tp_nn_in_steady_allocs
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// Minimal JSON validation for `--check`: a recursive-descent skim that
+/// accepts exactly the JSON grammar (objects, arrays, strings with
+/// escapes, numbers, literals) — enough to reject truncated or
+/// hand-mangled reports without an external parser.
+mod json {
+    pub(crate) fn validate(s: &str) -> Result<(), String> {
+        let b = s.as_bytes();
+        let mut i = 0;
+        skip_ws(b, &mut i);
+        value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing bytes at offset {i}"));
+        }
+        Ok(())
+    }
+
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+            *i += 1;
+        }
+    }
+
+    fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+        match b.get(*i) {
+            Some(b'{') => object(b, i),
+            Some(b'[') => array(b, i),
+            Some(b'"') => string(b, i),
+            Some(b't') => literal(b, i, b"true"),
+            Some(b'f') => literal(b, i, b"false"),
+            Some(b'n') => literal(b, i, b"null"),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+            other => Err(format!("unexpected {other:?} at offset {i}")),
+        }
+    }
+
+    fn object(b: &[u8], i: &mut usize) -> Result<(), String> {
+        *i += 1; // {
+        skip_ws(b, i);
+        if b.get(*i) == Some(&b'}') {
+            *i += 1;
+            return Ok(());
+        }
+        loop {
+            skip_ws(b, i);
+            string(b, i)?;
+            skip_ws(b, i);
+            if b.get(*i) != Some(&b':') {
+                return Err(format!("expected ':' at offset {i}"));
+            }
+            *i += 1;
+            skip_ws(b, i);
+            value(b, i)?;
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b',') => *i += 1,
+                Some(b'}') => {
+                    *i += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?} at {i}")),
+            }
+        }
+    }
+
+    fn array(b: &[u8], i: &mut usize) -> Result<(), String> {
+        *i += 1; // [
+        skip_ws(b, i);
+        if b.get(*i) == Some(&b']') {
+            *i += 1;
+            return Ok(());
+        }
+        loop {
+            skip_ws(b, i);
+            value(b, i)?;
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b',') => *i += 1,
+                Some(b']') => {
+                    *i += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected ',' or ']', got {other:?} at {i}")),
+            }
+        }
+    }
+
+    fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+        if b.get(*i) != Some(&b'"') {
+            return Err(format!("expected string at offset {i}"));
+        }
+        *i += 1;
+        while let Some(&c) = b.get(*i) {
+            match c {
+                b'"' => {
+                    *i += 1;
+                    return Ok(());
+                }
+                b'\\' => *i += 2,
+                _ => *i += 1,
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+        let start = *i;
+        if b.get(*i) == Some(&b'-') {
+            *i += 1;
+        }
+        while *i < b.len()
+            && (b[*i].is_ascii_digit() || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            *i += 1;
+        }
+        if *i == start {
+            return Err(format!("empty number at offset {start}"));
+        }
+        Ok(())
+    }
+
+    fn literal(b: &[u8], i: &mut usize, lit: &[u8]) -> Result<(), String> {
+        if b.len() - *i >= lit.len() && &b[*i..*i + lit.len()] == lit {
+            *i += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at offset {i}"))
+        }
+    }
+}
+
+/// `--check`: the report must be valid JSON and carry all four hot-path
+/// entries with before/after fields and the steady-state block.
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    json::validate(&text)?;
+    for name in ["knn", "tpnn", "validity_region", "serve_batch"] {
+        let key = format!("\"name\": \"{name}\"");
+        let Some(at) = text.find(&key) else {
+            return Err(format!("missing entry {name:?}"));
+        };
+        let rest = &text[at..text[at..].find('}').map_or(text.len(), |e| at + e)];
+        for field in [
+            "before_ns",
+            "after_ns",
+            "speedup",
+            "before_allocs",
+            "after_allocs",
+        ] {
+            if !rest.contains(field) {
+                return Err(format!("entry {name:?} missing field {field:?}"));
+            }
+        }
+    }
+    for field in ["knn_in_allocs", "tp_nn_in_allocs"] {
+        if !text.contains(field) {
+            return Err(format!("missing steady-state field {field:?}"));
+        }
+    }
+    println!("pr4_bench --check {path}: ok (4 entries, steady-state block)");
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--check") {
+        let path = args
+            .get(pos + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_PR4.json");
+        if let Err(e) = check(path) {
+            eprintln!("pr4_bench --check failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let report = run(quick);
+
+    for e in &report.entries {
+        println!(
+            "{:<18} before {:>10.0} ns/op ({:>7.1} allocs)   after {:>10.0} ns/op ({:>6.2} allocs)   {:>5.2}x",
+            e.name, e.before_ns, e.before_allocs, e.after_ns, e.after_allocs, e.speedup()
+        );
+    }
+    println!(
+        "steady-state allocs: knn_in={} tp_nn_in={}",
+        report.knn_in_steady_allocs, report.tp_nn_in_steady_allocs
+    );
+
+    assert_eq!(
+        report.knn_in_steady_allocs, 0,
+        "knn_in must be allocation-free after warm-up"
+    );
+    assert_eq!(
+        report.tp_nn_in_steady_allocs, 0,
+        "tp_nn_in must be allocation-free after warm-up"
+    );
+    if !quick {
+        let region = report
+            .entries
+            .iter()
+            .find(|e| e.name == "validity_region")
+            .expect("region entry present");
+        assert!(
+            region.speedup() >= 1.5,
+            "validity-region hot path must be >= 1.5x faster, got {:.2}x",
+            region.speedup()
+        );
+    }
+
+    let out = if quick {
+        std::path::PathBuf::from("target/BENCH_PR4.quick.json")
+    } else {
+        std::path::PathBuf::from("BENCH_PR4.json")
+    };
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    let rendered = render_json(&report);
+    json::validate(&rendered).expect("harness emits valid JSON");
+    std::fs::write(&out, rendered).expect("writing bench report");
+    println!("wrote {}", out.display());
+}

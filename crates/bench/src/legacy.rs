@@ -1,0 +1,577 @@
+//! The "before" baseline for the `pr4_bench` harness: the array-of-
+//! structs node layout and per-query allocation behavior the workspace
+//! had before the SoA + [`lbq_rtree::QueryScratch`] change.
+//!
+//! This is a deliberate, self-contained fossil. It mirrors the old
+//! `lbq-rtree` code paths closely enough that the before/after numbers
+//! in `BENCH_PR4.json` isolate the layout and allocation changes:
+//!
+//! * nodes store a `Vec<LegacyEntry>` of enum slots (MBR materialized
+//!   per entry via `mbr()`), exactly the old representation;
+//! * bulk load is the same STR tiling with the same 70% fill, so tree
+//!   *shape* matches what `RTree::bulk_load` produces for the same
+//!   items and config — the comparison never conflates structure with
+//!   layout;
+//! * kNN keeps the old `BinaryHeap` + `HashMap` candidate bookkeeping
+//!   (fresh per query), TPNN allocates a fresh priority queue per call,
+//!   the window query allocates its result vector per call;
+//! * node accesses are metered with the same two relaxed atomic adds
+//!   the live tree performs in `access()`, so neither side gets a free
+//!   ride on instrumentation.
+//!
+//! Only the loose TPNN pruning bound is ported — it is the default on
+//! both sides and the only bound the validity-region chain uses.
+
+use lbq_geom::{ConvexPolygon, HalfPlane, Point, Rect, Vec2};
+use lbq_rtree::{Item, OrdF64, RTreeConfig, TpEvent, DEFAULT_BULK_FILL};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One slot of a legacy node — the old enum-per-entry representation.
+#[derive(Debug, Clone)]
+pub enum LegacyEntry {
+    /// Internal entry: child index and its bounding rectangle.
+    Child {
+        /// Child MBR.
+        mbr: Rect,
+        /// Arena index of the child.
+        node: usize,
+    },
+    /// Leaf entry: a data point.
+    Leaf(Item),
+}
+
+impl LegacyEntry {
+    /// The MBR of the entry (degenerate rectangle for a point) —
+    /// materialized per call, as the old layout did.
+    #[inline]
+    fn mbr(&self) -> Rect {
+        match self {
+            LegacyEntry::Child { mbr, .. } => *mbr,
+            LegacyEntry::Leaf(item) => Rect::from_point(item.point),
+        }
+    }
+
+    #[inline]
+    fn child(&self) -> usize {
+        match self {
+            LegacyEntry::Child { node, .. } => *node,
+            LegacyEntry::Leaf(_) => panic!("child() on a leaf entry"),
+        }
+    }
+
+    #[inline]
+    fn item(&self) -> Item {
+        match self {
+            LegacyEntry::Leaf(item) => *item,
+            LegacyEntry::Child { .. } => panic!("item() on an internal entry"),
+        }
+    }
+}
+
+/// A legacy node: level plus a single heterogeneous entry vector.
+#[derive(Debug, Clone)]
+pub struct LegacyNode {
+    /// 0 for leaves, increasing toward the root.
+    pub level: u32,
+    /// The old AoS slot list.
+    pub entries: Vec<LegacyEntry>,
+}
+
+impl LegacyNode {
+    fn mbr(&self) -> Option<Rect> {
+        let mut it = self.entries.iter();
+        let mut r = it.next()?.mbr();
+        for e in it {
+            r.expand_to_rect(&e.mbr());
+        }
+        Some(r)
+    }
+}
+
+/// The pre-change tree: an arena of AoS nodes with the same STR packing
+/// as the live `RTree`, metered with the same two relaxed atomics per
+/// node access.
+#[derive(Debug)]
+pub struct LegacyTree {
+    nodes: Vec<LegacyNode>,
+    root: usize,
+    len: usize,
+    node_accesses: AtomicU64,
+    page_touches: AtomicU64,
+}
+
+impl LegacyTree {
+    /// STR bulk load with the default 70% fill — the same tiling the
+    /// live tree uses, so both sides of the benchmark traverse
+    /// identically shaped trees.
+    pub fn bulk_load(items: Vec<Item>, config: RTreeConfig) -> Self {
+        let mut tree = LegacyTree {
+            nodes: Vec::new(),
+            root: 0,
+            len: items.len(),
+            node_accesses: AtomicU64::new(0),
+            page_touches: AtomicU64::new(0),
+        };
+        if items.is_empty() {
+            tree.nodes.push(LegacyNode {
+                level: 0,
+                entries: Vec::new(),
+            });
+            return tree;
+        }
+        let node_cap = ((config.max_entries as f64 * DEFAULT_BULK_FILL).round() as usize)
+            .clamp(config.min_entries.max(2), config.max_entries);
+        let leaf_entries: Vec<LegacyEntry> = items.into_iter().map(LegacyEntry::Leaf).collect();
+        let mut level_nodes = pack_level(&mut tree, leaf_entries, 0, node_cap, &config);
+        let mut level = 1;
+        while level_nodes.len() > 1 {
+            level_nodes = pack_level(&mut tree, level_nodes, level, node_cap, &config);
+            level += 1;
+        }
+        tree.root = level_nodes[0].child();
+        tree
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no items are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Node accesses metered so far (parity with `RTree` stats).
+    pub fn node_accesses(&self) -> u64 {
+        self.node_accesses.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn access(&self, _id: usize) {
+        self.node_accesses.fetch_add(1, Ordering::Relaxed);
+        self.page_touches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Replicates the old `finish_query_span` epilogue: feed the global
+    /// NA/PA counters with this query's delta. The pre-change code paid
+    /// this on every query, so the baseline must too.
+    fn finish_query(&self, span: &mut lbq_obs::Span, na_before: u64) {
+        let delta = self.node_accesses() - na_before;
+        na_pa_counters().0.add(delta);
+        na_pa_counters().1.add(delta);
+        if span.is_active() {
+            span.record("na", delta);
+        }
+    }
+
+    /// Best-first kNN, old implementation: a fresh min-heap of nodes, a
+    /// fresh max-heap of the best k, and a `HashMap` from id to
+    /// candidate — all allocated per query — followed by a collect and
+    /// sort of the output vector.
+    pub fn knn(&self, q: Point, k: usize) -> Vec<(Item, f64)> {
+        let mut span = lbq_obs::span("rtree-knn");
+        let na_before = self.node_accesses();
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let mut queue: BinaryHeap<Reverse<(OrdF64, usize)>> = BinaryHeap::new();
+        let mut best: BinaryHeap<(OrdF64, u64)> = BinaryHeap::new();
+        let mut best_items: HashMap<u64, (f64, Item)> = HashMap::new();
+        queue.push(Reverse((OrdF64::new(0.0), self.root)));
+
+        let worst = |best: &BinaryHeap<(OrdF64, u64)>| -> f64 {
+            best.peek().map_or(f64::INFINITY, |(d, _)| d.0)
+        };
+
+        while let Some(Reverse((OrdF64(lb), node_id))) = queue.pop() {
+            if best.len() == k && lb >= worst(&best) {
+                break;
+            }
+            self.access(node_id);
+            let node = &self.nodes[node_id];
+            if node.level == 0 {
+                for e in &node.entries {
+                    let item = e.item();
+                    let d = q.dist_sq(item.point);
+                    if best.len() < k {
+                        best.push((OrdF64::new(d), item.id));
+                        best_items.insert(item.id, (d, item));
+                    } else if d < worst(&best) {
+                        if let Some((_, evicted)) = best.pop() {
+                            best_items.remove(&evicted);
+                        }
+                        best.push((OrdF64::new(d), item.id));
+                        best_items.insert(item.id, (d, item));
+                    }
+                }
+            } else {
+                for e in &node.entries {
+                    let lb = e.mbr().mindist_sq(q);
+                    if best.len() < k || lb < worst(&best) {
+                        queue.push(Reverse((OrdF64::new(lb), e.child())));
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(Item, f64)> = best_items
+            .into_values()
+            .map(|(d, item)| (item, d.sqrt()))
+            .collect();
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.id.cmp(&b.0.id)));
+        span.record("k", k);
+        span.record("results", out.len());
+        self.finish_query(&mut span, na_before);
+        out
+    }
+
+    /// Old recursive window query, allocating the output vector fresh.
+    pub fn window(&self, q: &Rect) -> Vec<Item> {
+        let mut span = lbq_obs::span("rtree-window");
+        let na_before = self.node_accesses();
+        let mut out = Vec::new();
+        self.window_into(self.root, q, &mut out);
+        span.record("results", out.len());
+        self.finish_query(&mut span, na_before);
+        out
+    }
+
+    fn window_into(&self, node_id: usize, q: &Rect, out: &mut Vec<Item>) {
+        self.access(node_id);
+        let node = &self.nodes[node_id];
+        if node.level == 0 {
+            out.extend(
+                node.entries
+                    .iter()
+                    .map(|e| e.item())
+                    .filter(|item| q.contains(item.point)),
+            );
+            return;
+        }
+        for e in &node.entries {
+            if e.mbr().intersects(q) {
+                self.window_into(e.child(), q, out);
+            }
+        }
+    }
+
+    /// Old TPNN (loose bound): fresh priority queue per call, enum
+    /// entry scan with per-slot `mbr()` materialization.
+    pub fn tp_knn(&self, q: Point, dir: Vec2, t_max: f64, inner: &[Item]) -> Option<TpEvent> {
+        assert!(!inner.is_empty(), "TP query needs the current result set");
+        let mut span = lbq_obs::span("rtree-tpnn");
+        let na_before = self.node_accesses();
+        let d_max = inner.iter().map(|o| q.dist(o.point)).fold(0.0f64, f64::max);
+        let entry_bound = |mbr: &Rect| -> f64 { ((mbr.mindist(q) - d_max) * 0.5).max(0.0) };
+
+        let mut queue: BinaryHeap<Reverse<(OrdF64, usize)>> = BinaryHeap::new();
+        queue.push(Reverse((OrdF64::new(0.0), self.root)));
+        let mut best: Option<TpEvent> = None;
+
+        while let Some(Reverse((OrdF64(lb), node_id))) = queue.pop() {
+            let horizon = best.as_ref().map_or(t_max, |e| e.time.min(t_max));
+            if lb > horizon {
+                break;
+            }
+            self.access(node_id);
+            let node = &self.nodes[node_id];
+            if node.level == 0 {
+                for e in &node.entries {
+                    let item = e.item();
+                    if inner.iter().any(|o| o.id == item.id) {
+                        continue;
+                    }
+                    if let Some((t, partner)) = influence_time(q, dir, item.point, inner) {
+                        let horizon = best.as_ref().map_or(t_max, |e| e.time.min(t_max));
+                        let better = t < horizon
+                            || (t <= horizon
+                                && best
+                                    .as_ref()
+                                    .is_some_and(|b| t == b.time && item.id < b.object.id));
+                        if t <= t_max && better {
+                            best = Some(TpEvent {
+                                object: item,
+                                partner,
+                                time: t,
+                            });
+                        }
+                    }
+                }
+            } else {
+                for e in &node.entries {
+                    let lb = entry_bound(&e.mbr());
+                    let horizon = best.as_ref().map_or(t_max, |ev| ev.time.min(t_max));
+                    if lb <= horizon {
+                        queue.push(Reverse((OrdF64::new(lb), e.child())));
+                    }
+                }
+            }
+        }
+        span.record("inner", inner.len());
+        span.record("found", best.is_some());
+        self.finish_query(&mut span, na_before);
+        best
+    }
+
+    /// The pre-change influence-set retrieval (paper Figs. 10/12): the
+    /// same vertex-confirmation loop as `lbq_core`, driven by the
+    /// allocating [`LegacyTree::tp_knn`]. Returns the influence pairs
+    /// (inner, outer), the region polygon, and the TPNN query count.
+    pub fn retrieve_influence_set(
+        &self,
+        q: Point,
+        inner: &[Item],
+        universe: Rect,
+    ) -> (Vec<(Item, Item)>, ConvexPolygon, usize) {
+        assert!(!inner.is_empty(), "kNN result must be non-empty");
+        let mut span = lbq_obs::span("nn-influence-set");
+        span.record("k", inner.len());
+        if self.len() <= inner.len() {
+            return (Vec::new(), ConvexPolygon::from_rect(&universe), 0);
+        }
+        let eps = lbq_geom::EPS * universe.width().max(universe.height()).max(1.0);
+        let mut pairs: Vec<(Item, Item)> = Vec::new();
+        let mut polygon = ConvexPolygon::from_rect(&universe);
+        let mut vertices: Vec<(Point, bool)> =
+            polygon.vertices().iter().map(|&v| (v, false)).collect();
+        let mut tpnn_count = 0usize;
+
+        while let Some(idx) = vertices.iter().position(|(_, confirmed)| !confirmed) {
+            let v = vertices[idx].0;
+            let Some(dir) = q.to(v).normalized() else {
+                vertices[idx].1 = true;
+                continue;
+            };
+            let t_max = q.dist(v);
+            tpnn_count += 1;
+            let event = self.tp_knn(q, dir, t_max, inner);
+            if lbq_obs::enabled() {
+                lbq_obs::event_with(
+                    "tpnn-iteration",
+                    [
+                        ("vertices", lbq_obs::Value::from(vertices.len())),
+                        ("pairs", lbq_obs::Value::from(pairs.len())),
+                        ("found", lbq_obs::Value::from(event.is_some())),
+                    ],
+                );
+            }
+            match event {
+                None => {
+                    vertices[idx].1 = true;
+                }
+                Some(ev) => {
+                    let known = pairs
+                        .iter()
+                        .any(|(i, o)| i.id == ev.partner.id && o.id == ev.object.id);
+                    if known {
+                        vertices[idx].1 = true;
+                    } else {
+                        let hp = HalfPlane::bisector(ev.partner.point, ev.object.point);
+                        let clipped = polygon.clip(&hp);
+                        pairs.push((ev.partner, ev.object));
+                        if clipped.is_empty() {
+                            polygon = clipped;
+                            vertices.clear();
+                            break;
+                        }
+                        let old = std::mem::take(&mut vertices);
+                        vertices = clipped
+                            .vertices()
+                            .iter()
+                            .map(|&nv| {
+                                let confirmed = old.iter().any(|(ov, c)| *c && ov.dist(nv) <= eps);
+                                (nv, confirmed)
+                            })
+                            .collect();
+                        polygon = clipped;
+                    }
+                }
+            }
+        }
+        (pairs, polygon, tpnn_count)
+    }
+
+    /// The pre-change kNN-with-validity pipeline (kNN then influence
+    /// set), used as the sequential "before" of the serve-batch entry.
+    pub fn knn_with_validity(
+        &self,
+        q: Point,
+        k: usize,
+        universe: Rect,
+    ) -> (Vec<Item>, Vec<(Item, Item)>, ConvexPolygon) {
+        let result: Vec<Item> = self.knn(q, k).into_iter().map(|(i, _)| i).collect();
+        if result.is_empty() {
+            return (result, Vec::new(), ConvexPolygon::from_rect(&universe));
+        }
+        let (pairs, polygon, _) = self.retrieve_influence_set(q, &result, universe);
+        (result, pairs, polygon)
+    }
+}
+
+/// The global NA/PA counter pair the old `finish_query_span` fed
+/// (cached handles, one registry lookup per process).
+fn na_pa_counters() -> &'static (lbq_obs::Counter, lbq_obs::Counter) {
+    use std::sync::OnceLock;
+    static C: OnceLock<(lbq_obs::Counter, lbq_obs::Counter)> = OnceLock::new();
+    C.get_or_init(|| {
+        (
+            lbq_obs::counter("rtree-node-accesses"),
+            lbq_obs::counter("rtree-page-faults"),
+        )
+    })
+}
+
+/// Influence time of point `p` against the inner set (port of the
+/// rtree-internal helper; behaviorally identical).
+fn influence_time(q: Point, dir: Vec2, p: Point, inner: &[Item]) -> Option<(f64, Item)> {
+    let mut best: Option<(f64, Item)> = None;
+    let dp_sq = q.dist_sq(p);
+    for &o in inner {
+        let f0 = dp_sq - q.dist_sq(o.point);
+        let denom = 2.0 * dir.dot(o.point.to(p));
+        let t = if f0 <= 0.0 {
+            Some(0.0)
+        } else if denom > 0.0 {
+            Some(f0 / denom)
+        } else {
+            None
+        };
+        if let Some(t) = t {
+            if best.as_ref().is_none_or(|(bt, _)| t < *bt) {
+                best = Some((t, o));
+            }
+        }
+    }
+    best
+}
+
+/// STR tiling, as the old bulk loader did it.
+fn pack_level(
+    tree: &mut LegacyTree,
+    mut entries: Vec<LegacyEntry>,
+    level: u32,
+    cap: usize,
+    config: &RTreeConfig,
+) -> Vec<LegacyEntry> {
+    let n = entries.len();
+    if n <= cap {
+        let node = LegacyNode { level, entries };
+        let mbr = node.mbr().expect("non-empty pack");
+        let id = tree.nodes.len();
+        tree.nodes.push(node);
+        return vec![LegacyEntry::Child { mbr, node: id }];
+    }
+    let node_count = n.div_ceil(cap);
+    let slice_count = (node_count as f64).sqrt().ceil() as usize;
+    let slice_size = slice_count.max(1) * cap;
+
+    let center = |e: &LegacyEntry| -> Point { e.mbr().center() };
+    entries.sort_by(|a, b| center(a).x.total_cmp(&center(b).x));
+
+    let min = config.min_entries;
+    let max = config.max_entries;
+    let mut out = Vec::with_capacity(node_count);
+    let mut rest = entries;
+    while !rest.is_empty() {
+        let mut take = slice_size.min(rest.len());
+        if rest.len() - take > 0 && rest.len() - take < min {
+            take = rest.len();
+        }
+        let mut slice: Vec<LegacyEntry> = rest.drain(..take).collect();
+        slice.sort_by(|a, b| center(a).y.total_cmp(&center(b).y));
+        let mut remaining = slice;
+        while !remaining.is_empty() {
+            let take = chunk_size(remaining.len(), cap, min, max);
+            let group: Vec<LegacyEntry> = remaining.drain(..take).collect();
+            let node = LegacyNode {
+                level,
+                entries: group,
+            };
+            let mbr = node.mbr().expect("non-empty group");
+            let id = tree.nodes.len();
+            tree.nodes.push(node);
+            out.push(LegacyEntry::Child { mbr, node: id });
+        }
+    }
+    out
+}
+
+/// Next STR chunk size within the legal `[min, max]` occupancy range.
+fn chunk_size(remaining: usize, target: usize, min: usize, max: usize) -> usize {
+    if remaining <= target {
+        remaining
+    } else if remaining - target >= min {
+        target
+    } else if remaining <= max {
+        remaining
+    } else {
+        remaining - min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbq_rtree::RTree;
+
+    fn random_items(n: usize, seed: u64) -> Vec<Item> {
+        let mut rng = lbq_rng::Xoshiro256ss::seed_from_u64(seed);
+        (0..n)
+            .map(|i| Item::new(Point::new(rng.gen_f64(), rng.gen_f64()), i as u64))
+            .collect()
+    }
+
+    /// The legacy fossil must agree with the live tree on every query
+    /// kind — otherwise the benchmark compares different algorithms,
+    /// not different layouts.
+    #[test]
+    fn legacy_matches_live_tree() {
+        let items = random_items(600, 42);
+        let config = RTreeConfig::tiny();
+        let live = RTree::bulk_load(items.clone(), config);
+        let legacy = LegacyTree::bulk_load(items, config);
+        let universe = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let mut rng = lbq_rng::Xoshiro256ss::seed_from_u64(7);
+        for _ in 0..50 {
+            let q = Point::new(rng.gen_f64(), rng.gen_f64());
+            // kNN.
+            let a = live.knn(q, 5);
+            let b = legacy.knn(q, 5);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.0.id, y.0.id);
+                assert!((x.1 - y.1).abs() < 1e-12);
+            }
+            // Window.
+            let w = Rect::new(q.x - 0.1, q.y - 0.1, q.x + 0.1, q.y + 0.1);
+            let mut wa: Vec<u64> = live.window(&w).iter().map(|i| i.id).collect();
+            let mut wb: Vec<u64> = legacy.window(&w).iter().map(|i| i.id).collect();
+            wa.sort_unstable();
+            wb.sort_unstable();
+            assert_eq!(wa, wb);
+            // TPNN + region.
+            let inner: Vec<Item> = a.into_iter().map(|(i, _)| i).collect();
+            let nn = &inner[..1];
+            let ta = live.tp_knn(q, Vec2::new(1.0, 0.0), 0.5, nn);
+            let tb = legacy.tp_knn(q, Vec2::new(1.0, 0.0), 0.5, nn);
+            assert_eq!(ta.map(|e| e.object.id), tb.map(|e| e.object.id));
+            let (la, _) = lbq_core::retrieve_influence_set(&live, q, nn, universe);
+            let (lb, _, _) = legacy.retrieve_influence_set(q, nn, universe);
+            assert_eq!(la.pairs.len(), lb.len());
+            for (pa, (pi, po)) in la.pairs.iter().zip(&lb) {
+                assert_eq!(pa.inner.id, pi.id);
+                assert_eq!(pa.outer.id, po.id);
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_meters_accesses() {
+        let legacy = LegacyTree::bulk_load(random_items(300, 9), RTreeConfig::tiny());
+        let before = legacy.node_accesses();
+        let _ = legacy.knn(Point::new(0.5, 0.5), 3);
+        assert!(legacy.node_accesses() > before);
+    }
+}

@@ -53,12 +53,14 @@ pub mod nn;
 pub mod region;
 pub mod window;
 
-pub use nn::{retrieve_influence_set, InfluencePair, NnResponse, NnValidity};
+pub use nn::{
+    retrieve_influence_set, retrieve_influence_set_in, InfluencePair, NnResponse, NnValidity,
+};
 pub use region::{region_with_validity, RegionResponse, RegionValidity};
-pub use window::{window_with_validity, WindowResponse, WindowValidity};
+pub use window::{window_with_validity, window_with_validity_in, WindowResponse, WindowValidity};
 
 use lbq_geom::{Point, Rect};
-use lbq_rtree::{Item, RTree, RTreeConfig, Stats};
+use lbq_rtree::{Item, QueryScratch, RTree, RTreeConfig, Stats};
 
 /// The location-based query server: an R\*-tree over static points plus
 /// the query-processing of the paper's Sections 3 and 4.
@@ -96,7 +98,27 @@ impl LbqServer {
     /// TPNN-driven influence-set retrieval of Figs. 10/12; step (iii)
     /// packages the response.
     pub fn knn_with_validity(&self, q: Point, k: usize) -> NnResponse {
-        let result: Vec<Item> = self.tree.knn(q, k).into_iter().map(|(i, _)| i).collect();
+        let mut scratch = QueryScratch::new();
+        self.knn_with_validity_in(q, k, &mut scratch)
+    }
+
+    /// [`LbqServer::knn_with_validity`] against a reusable
+    /// [`QueryScratch`]: the initial kNN and the whole TPNN chain of the
+    /// influence-set retrieval share one set of buffers. This is the
+    /// entry point `lbq-serve` workers use with their thread-owned
+    /// scratch.
+    pub fn knn_with_validity_in(
+        &self,
+        q: Point,
+        k: usize,
+        scratch: &mut QueryScratch,
+    ) -> NnResponse {
+        let result: Vec<Item> = self
+            .tree
+            .knn_in(q, k, scratch)
+            .iter()
+            .map(|&(i, _)| i)
+            .collect();
         if result.is_empty() {
             return NnResponse {
                 query: q,
@@ -110,7 +132,7 @@ impl LbqServer {
             };
         }
         let (validity, tpnn_queries) =
-            nn::retrieve_influence_set(&self.tree, q, &result, self.universe);
+            nn::retrieve_influence_set_in(&self.tree, q, &result, self.universe, scratch);
         NnResponse {
             query: q,
             result,
@@ -123,6 +145,18 @@ impl LbqServer {
     /// a window of half-extents `(hx, hy)`.
     pub fn window_with_validity(&self, c: Point, hx: f64, hy: f64) -> WindowResponse {
         window::window_with_validity(&self.tree, c, hx, hy, self.universe)
+    }
+
+    /// [`LbqServer::window_with_validity`] against a reusable
+    /// [`QueryScratch`].
+    pub fn window_with_validity_in(
+        &self,
+        c: Point,
+        hx: f64,
+        hy: f64,
+        scratch: &mut QueryScratch,
+    ) -> WindowResponse {
+        window::window_with_validity_in(&self.tree, c, hx, hy, self.universe, scratch)
     }
 
     /// Location-based circular region query (the paper's §7 future-work

@@ -18,7 +18,7 @@
 //! the test suite.
 
 use lbq_geom::{ConvexPolygon, HalfPlane, Point, Rect};
-use lbq_rtree::{Item, RTree};
+use lbq_rtree::{Item, QueryScratch, RTree};
 
 /// An influence pair `⟨inner, outer⟩`: the bisector of the two is an
 /// edge (or potential edge) of the validity region; `inner` belongs to
@@ -131,6 +131,21 @@ pub fn retrieve_influence_set(
     inner: &[Item],
     universe: Rect,
 ) -> (NnValidity, usize) {
+    let mut scratch = QueryScratch::new();
+    retrieve_influence_set_in(tree, q, inner, universe, &mut scratch)
+}
+
+/// [`retrieve_influence_set`] against a reusable [`QueryScratch`]: the
+/// whole shrinking-polygon TPNN chain (one query per vertex probe) runs
+/// on one set of buffers, so the region hot path allocates only for the
+/// polygon clipping itself.
+pub fn retrieve_influence_set_in(
+    tree: &RTree,
+    q: Point,
+    inner: &[Item],
+    universe: Rect,
+    scratch: &mut QueryScratch,
+) -> (NnValidity, usize) {
     assert!(!inner.is_empty(), "kNN result must be non-empty");
     let mut span = lbq_obs::span("nn-influence-set");
     span.record("k", inner.len());
@@ -149,8 +164,15 @@ pub fn retrieve_influence_set(
     let eps = vertex_eps(&universe);
     let mut pairs: Vec<InfluencePair> = Vec::new();
     let mut polygon = ConvexPolygon::from_rect(&universe);
-    // Vertex set V with confirmation flags.
-    let mut vertices: Vec<(Point, bool)> = polygon.vertices().iter().map(|&v| (v, false)).collect();
+    // Vertex set V with confirmation flags, and the clip staging buffer
+    // — all borrowed from the scratch (and returned below) so the loop
+    // allocates nothing in steady state. Taking them out lets the TPNN
+    // calls borrow the scratch mutably in between.
+    let mut vertices = std::mem::take(&mut scratch.region_vertices);
+    let mut spare = std::mem::take(&mut scratch.region_spare);
+    let mut clip_buf = std::mem::take(&mut scratch.region_clip);
+    vertices.clear();
+    vertices.extend(polygon.vertices().iter().map(|&v| (v, false)));
     let mut tpnn_count = 0usize;
 
     while let Some(idx) = vertices.iter().position(|(_, confirmed)| !confirmed) {
@@ -163,7 +185,7 @@ pub fn retrieve_influence_set(
         };
         let t_max = q.dist(v);
         tpnn_count += 1;
-        let event = tree.tp_knn(q, dir, t_max, inner);
+        let event = tree.tp_knn_in(q, dir, t_max, inner, scratch);
         if lbq_obs::enabled() {
             lbq_obs::event_with(
                 "tpnn-iteration",
@@ -191,30 +213,33 @@ pub fn retrieve_influence_set(
                         inner: ev.partner,
                         outer: ev.object,
                     };
-                    let clipped = polygon.clip(&pair.half_plane());
+                    polygon.clip_in_place(&pair.half_plane(), &mut clip_buf);
                     pairs.push(pair);
-                    if clipped.is_empty() {
+                    if polygon.is_empty() {
                         // Degenerate: q sits on a bisector (tie). The
                         // region has zero area; report it honestly.
-                        polygon = clipped;
                         vertices.clear();
                         break;
                     }
-                    // Carry confirmation flags to surviving vertices.
-                    let old = std::mem::take(&mut vertices);
-                    vertices = clipped
-                        .vertices()
-                        .iter()
-                        .map(|&nv| {
-                            let confirmed = old.iter().any(|(ov, c)| *c && ov.dist(nv) <= eps);
-                            (nv, confirmed)
-                        })
-                        .collect();
-                    polygon = clipped;
+                    // Carry confirmation flags to surviving vertices:
+                    // read the old ring, write the new one, swap.
+                    spare.clear();
+                    spare.extend(polygon.vertices().iter().map(|&nv| {
+                        let confirmed = vertices.iter().any(|(ov, c)| *c && ov.dist(nv) <= eps);
+                        (nv, confirmed)
+                    }));
+                    std::mem::swap(&mut vertices, &mut spare);
                 }
             }
         }
     }
+    // Hand the (capacity-retaining) buffers back to the scratch.
+    vertices.clear();
+    spare.clear();
+    clip_buf.clear();
+    scratch.region_vertices = vertices;
+    scratch.region_spare = spare;
+    scratch.region_clip = clip_buf;
     let validity = NnValidity {
         pairs,
         polygon,

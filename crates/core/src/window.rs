@@ -22,7 +22,7 @@
 //! check.
 
 use lbq_geom::{rect_difference_area, rect_union_area, Point, Rect};
-use lbq_rtree::{Item, RTree};
+use lbq_rtree::{Item, QueryScratch, RTree};
 
 /// The validity structure of a location-based window query.
 #[derive(Debug, Clone)]
@@ -104,11 +104,27 @@ pub fn window_with_validity(
     hy: f64,
     universe: Rect,
 ) -> WindowResponse {
+    let mut scratch = QueryScratch::new();
+    window_with_validity_in(tree, c, hx, hy, universe, &mut scratch)
+}
+
+/// [`window_with_validity`] against a reusable [`QueryScratch`]: both
+/// tree traversals (the result window and the extended candidate
+/// window) run on caller-owned buffers.
+pub fn window_with_validity_in(
+    tree: &RTree,
+    c: Point,
+    hx: f64,
+    hy: f64,
+    universe: Rect,
+    scratch: &mut QueryScratch,
+) -> WindowResponse {
     assert!(hx > 0.0 && hy > 0.0, "window extents must be positive");
     let window = Rect::centered(c, hx, hy);
-    // Query 1: the result itself.
-    let result = tree.window(&window);
-    window_validity_from_result(tree, c, hx, hy, universe, result)
+    // Query 1: the result itself. Copied out of the scratch because the
+    // second (extended-window) query reuses the same buffers.
+    let result = tree.window_in(&window, scratch).to_vec();
+    window_validity_from_result_in(tree, c, hx, hy, universe, result, scratch)
 }
 
 /// Second phase of [`window_with_validity`], split out so a cost harness
@@ -123,11 +139,25 @@ pub fn window_validity_from_result(
     universe: Rect,
     result: Vec<Item>,
 ) -> WindowResponse {
+    let mut scratch = QueryScratch::new();
+    window_validity_from_result_in(tree, c, hx, hy, universe, result, &mut scratch)
+}
+
+/// [`window_validity_from_result`] against a reusable [`QueryScratch`].
+pub fn window_validity_from_result_in(
+    tree: &RTree,
+    c: Point,
+    hx: f64,
+    hy: f64,
+    universe: Rect,
+    result: Vec<Item>,
+    scratch: &mut QueryScratch,
+) -> WindowResponse {
     let window = Rect::centered(c, hx, hy);
     let mut span = lbq_obs::span("window-validity");
     span.record("results", result.len());
     if result.is_empty() {
-        return empty_window_response(tree, c, hx, hy, universe, window);
+        return empty_window_response(tree, c, hx, hy, universe, window, scratch);
     }
 
     // Inner validity rectangle: intersection of per-point containment
@@ -197,14 +227,15 @@ pub fn window_validity_from_result(
         c.y - inner_rect.ymin,
         inner_rect.ymax - c.y,
     );
-    let candidates = tree.window(&extended);
+    let candidates = tree.window_in(&extended, scratch);
     span.record("candidates", candidates.len());
     let result_ids: std::collections::HashSet<u64> = result.iter().map(|i| i.id).collect();
 
     // Outer influence objects: candidates whose Minkowski region
     // overlaps the inner rectangle...
     let mut outers: Vec<(Item, Rect)> = candidates
-        .into_iter()
+        .iter()
+        .copied()
         .filter(|it| !result_ids.contains(&it.id))
         .filter_map(|it| {
             Rect::centered(it.point, hx, hy)
@@ -296,8 +327,10 @@ fn empty_window_response(
     hy: f64,
     universe: Rect,
     window: Rect,
+    scratch: &mut QueryScratch,
 ) -> WindowResponse {
-    let (inner_rect, outer_influence) = match tree.nn(c) {
+    let nearest = tree.knn_in(c, 1, scratch).first().copied();
+    let (inner_rect, outer_influence) = match nearest {
         Some((nearest, d)) => {
             let slack = d - (hx * hx + hy * hy).sqrt();
             let half = (slack / std::f64::consts::SQRT_2).max(0.0);

@@ -1,0 +1,118 @@
+//! Equivalence suite for the scratch-backed validity pipeline: a
+//! [`QueryScratch`] threaded through the full kNN → TPNN-chain →
+//! region construction must yield **bit-identical** responses to the
+//! plain allocating entry points, including when one scratch is reused
+//! across a long mixed stream of queries (the `lbq-serve` worker
+//! pattern).
+
+use lbq_core::{retrieve_influence_set, retrieve_influence_set_in, LbqServer, NnValidity};
+use lbq_geom::{Point, Rect};
+use lbq_rng::Xoshiro256ss;
+use lbq_rtree::{Item, QueryScratch, RTree, RTreeConfig};
+
+fn rand_items(rng: &mut Xoshiro256ss, n: usize) -> Vec<Item> {
+    (0..n)
+        .map(|i| {
+            Item::new(
+                Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)),
+                i as u64,
+            )
+        })
+        .collect()
+}
+
+fn unit() -> Rect {
+    Rect::new(0.0, 0.0, 1.0, 1.0)
+}
+
+fn assert_validity_identical(plain: &NnValidity, reused: &NnValidity, ctx: &str) {
+    assert_eq!(plain.pairs.len(), reused.pairs.len(), "{ctx}: pair count");
+    for (i, (p, s)) in plain.pairs.iter().zip(&reused.pairs).enumerate() {
+        assert_eq!(p.inner.id, s.inner.id, "{ctx}: pair {i} inner");
+        assert_eq!(p.outer.id, s.outer.id, "{ctx}: pair {i} outer");
+    }
+    let pv = plain.polygon.vertices();
+    let sv = reused.polygon.vertices();
+    assert_eq!(pv.len(), sv.len(), "{ctx}: vertex count");
+    for (i, (p, s)) in pv.iter().zip(sv).enumerate() {
+        assert_eq!(
+            (p.x.to_bits(), p.y.to_bits()),
+            (s.x.to_bits(), s.y.to_bits()),
+            "{ctx}: vertex {i} bits ({p:?} vs {s:?})"
+        );
+    }
+}
+
+#[test]
+fn retrieve_influence_set_in_bit_identical() {
+    let mut rng = Xoshiro256ss::seed_from_u64(0x1F5E7);
+    for config in [RTreeConfig::tiny(), RTreeConfig::paper()] {
+        let tree = RTree::bulk_load(rand_items(&mut rng, 700), config);
+        let mut scratch = QueryScratch::new();
+        for case in 0..50 {
+            let q = Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
+            let k = rng.gen_range(1..5usize);
+            let inner: Vec<Item> = tree.knn(q, k).into_iter().map(|(i, _)| i).collect();
+            let (plain, plain_tpnn) = retrieve_influence_set(&tree, q, &inner, unit());
+            let (reused, reused_tpnn) =
+                retrieve_influence_set_in(&tree, q, &inner, unit(), &mut scratch);
+            assert_eq!(plain_tpnn, reused_tpnn, "case {case}: TPNN query count");
+            assert_validity_identical(&plain, &reused, &format!("case {case}"));
+        }
+    }
+}
+
+#[test]
+fn server_knn_and_window_validity_bit_identical_across_mixed_stream() {
+    let mut rng = Xoshiro256ss::seed_from_u64(0x5EE0E);
+    let server = LbqServer::new(
+        RTree::bulk_load(rand_items(&mut rng, 900), RTreeConfig::tiny()),
+        unit(),
+    );
+    // One scratch for the whole stream — the serve-worker pattern.
+    let mut scratch = QueryScratch::new();
+    for case in 0..300 {
+        let q = Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
+        if case % 2 == 0 {
+            let k = rng.gen_range(1..6usize);
+            let plain = server.knn_with_validity(q, k);
+            let reused = server.knn_with_validity_in(q, k, &mut scratch);
+            assert_eq!(
+                plain.result.iter().map(|i| i.id).collect::<Vec<_>>(),
+                reused.result.iter().map(|i| i.id).collect::<Vec<_>>(),
+                "case {case}: result set"
+            );
+            assert_eq!(plain.tpnn_queries, reused.tpnn_queries, "case {case}");
+            assert_validity_identical(
+                &plain.validity,
+                &reused.validity,
+                &format!("case {case} knn"),
+            );
+        } else {
+            let (hx, hy) = (rng.gen_range(0.01..0.2), rng.gen_range(0.01..0.2));
+            let plain = server.window_with_validity(q, hx, hy);
+            let reused = server.window_with_validity_in(q, hx, hy, &mut scratch);
+            assert_eq!(
+                plain.result.iter().map(|i| i.id).collect::<Vec<_>>(),
+                reused.result.iter().map(|i| i.id).collect::<Vec<_>>(),
+                "case {case}: window result"
+            );
+            let (pv, sv) = (&plain.validity, &reused.validity);
+            assert_eq!(pv.inner_rect, sv.inner_rect, "case {case}: inner rect");
+            assert_eq!(
+                pv.conservative, sv.conservative,
+                "case {case}: conservative"
+            );
+            assert_eq!(
+                pv.inner_influence.iter().map(|i| i.id).collect::<Vec<_>>(),
+                sv.inner_influence.iter().map(|i| i.id).collect::<Vec<_>>(),
+                "case {case}: inner influence"
+            );
+            assert_eq!(
+                pv.outer_influence.iter().map(|i| i.id).collect::<Vec<_>>(),
+                sv.outer_influence.iter().map(|i| i.id).collect::<Vec<_>>(),
+                "case {case}: outer influence"
+            );
+        }
+    }
+}

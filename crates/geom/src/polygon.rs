@@ -175,27 +175,12 @@ impl ConvexPolygon {
         if self.vertices.is_empty() {
             return ConvexPolygon::empty();
         }
-        let n = self.vertices.len();
-        let mut out: Vec<Point> = Vec::with_capacity(n + 1);
-        for i in 0..n {
-            let cur = self.vertices[i];
-            let nxt = self.vertices[(i + 1) % n];
-            let dc = h.signed_dist(cur);
-            let dn = h.signed_dist(nxt);
-            if dc <= 0.0 {
-                out.push(cur);
-            }
-            // Strict sign change → one crossing point on the open edge.
-            if (dc < 0.0 && dn > 0.0) || (dc > 0.0 && dn < 0.0) {
-                let t = dc / (dc - dn);
-                out.push(cur.lerp(nxt, t));
-            }
-        }
+        let mut out: Vec<Point> = Vec::with_capacity(self.vertices.len() + 1);
+        clip_ring(&self.vertices, h, &mut out);
+        dedup_ring(&mut out);
         // Degenerate slivers (all vertices collinear within EPS) are
         // reported as empty so callers can stop refining them.
-        let poly = ConvexPolygon {
-            vertices: dedup_ring(out),
-        };
+        let poly = ConvexPolygon { vertices: out };
         if poly.vertices.len() < 3 || poly.area() <= crate::EPS * crate::EPS {
             return ConvexPolygon::empty();
         }
@@ -205,6 +190,29 @@ impl ConvexPolygon {
             poly.validate()
         );
         poly
+    }
+
+    /// [`ConvexPolygon::clip`], mutating `self` and staging the new ring
+    /// in `buf` (capacity retained across calls): repeated clipping —
+    /// e.g. the validity-region construction — runs with zero
+    /// steady-state allocations.
+    pub fn clip_in_place(&mut self, h: &HalfPlane, buf: &mut Vec<Point>) {
+        buf.clear();
+        if self.vertices.is_empty() {
+            return;
+        }
+        clip_ring(&self.vertices, h, buf);
+        dedup_ring(buf);
+        std::mem::swap(&mut self.vertices, buf);
+        if self.vertices.len() < 3 || self.area() <= crate::EPS * crate::EPS {
+            self.vertices.clear();
+            return;
+        }
+        debug_assert!(
+            self.validate().is_ok(),
+            "clip broke the polygon invariant: {:?}",
+            self.validate()
+        );
     }
 
     /// Clips by every half-plane in `hs` in sequence.
@@ -245,7 +253,28 @@ impl ConvexPolygon {
 }
 
 /// Removes consecutive (cyclically) duplicate points from a vertex ring.
-fn dedup_ring(mut v: Vec<Point>) -> Vec<Point> {
+/// Single-clip Sutherland–Hodgman over a vertex ring: keeps inside
+/// vertices and inserts the boundary crossing on each inside/outside
+/// transition, appending the new ring to `out`.
+fn clip_ring(ring: &[Point], h: &HalfPlane, out: &mut Vec<Point>) {
+    let n = ring.len();
+    for i in 0..n {
+        let cur = ring[i];
+        let nxt = ring[(i + 1) % n];
+        let dc = h.signed_dist(cur);
+        let dn = h.signed_dist(nxt);
+        if dc <= 0.0 {
+            out.push(cur);
+        }
+        // Strict sign change → one crossing point on the open edge.
+        if (dc < 0.0 && dn > 0.0) || (dc > 0.0 && dn < 0.0) {
+            let t = dc / (dc - dn);
+            out.push(cur.lerp(nxt, t));
+        }
+    }
+}
+
+fn dedup_ring(v: &mut Vec<Point>) {
     v.dedup_by(|a, b| a.dist_sq(*b) <= crate::EPS * crate::EPS);
     while v.len() >= 2 {
         let first = v[0];
@@ -257,7 +286,6 @@ fn dedup_ring(mut v: Vec<Point>) -> Vec<Point> {
             break;
         }
     }
-    v
 }
 
 #[cfg(test)]
@@ -417,8 +445,8 @@ mod tests {
         let p = Point::new(0.0, 0.0);
         let q = Point::new(1.0, 0.0);
         let r = Point::new(0.0, 1.0);
-        let ring = vec![p, p, q, q, r, p];
-        let out = dedup_ring(ring);
-        assert_eq!(out, vec![p, q, r]);
+        let mut ring = vec![p, p, q, q, r, p];
+        dedup_ring(&mut ring);
+        assert_eq!(ring, vec![p, q, r]);
     }
 }

@@ -1,0 +1,54 @@
+//! Process-wide allocation counting hooks.
+//!
+//! A counting `#[global_allocator]` (e.g. the one in the `pr4_bench`
+//! binary of `lbq-bench`) calls [`note_alloc`] on every heap
+//! allocation. The counter is deliberately a **bare static atomic**, not
+//! a registry metric: the metric registry takes a lock and its first
+//! lookup allocates, so routing allocator callbacks through it would
+//! recurse. Instead, [`publish_alloc_gauge`] mirrors the current count
+//! into the registered `alloc-count` gauge on demand — call it *outside*
+//! measurement windows (e.g. once per report) so the mirroring itself
+//! never perturbs an allocation measurement.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one heap allocation. Safe to call from a global allocator:
+/// one relaxed `fetch_add`, no locks, no allocation.
+#[inline]
+pub fn note_alloc() {
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total allocations noted since process start. Monotonic; per-section
+/// costs are deltas between two reads.
+#[inline]
+pub fn alloc_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Mirrors [`alloc_count`] into the `alloc-count` gauge (registering it
+/// on first use) so allocation totals appear in
+/// [`crate::metrics_snapshot`] next to the NA/PA counters. Returns the
+/// gauge handle for callers that want to re-publish cheaply.
+pub fn publish_alloc_gauge() -> crate::Gauge {
+    let g = crate::gauge("alloc-count");
+    g.set(i64::try_from(alloc_count()).unwrap_or(i64::MAX));
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_monotonic_and_published() {
+        let before = alloc_count();
+        note_alloc();
+        note_alloc();
+        assert!(alloc_count() >= before + 2);
+        let g = publish_alloc_gauge();
+        assert!(g.get() >= i64::try_from(before).unwrap_or(i64::MAX));
+    }
+}

@@ -17,6 +17,11 @@
 //! - **Metrics** ([`counter`], [`gauge`], [`histogram`]): a named
 //!   registry of lock-free handles; histograms give p50/p95/p99
 //!   summaries from power-of-two buckets.
+//! - **Allocation counting** ([`note_alloc`], [`alloc_count`],
+//!   [`publish_alloc_gauge`]): a bare-atomic hook for counting global
+//!   allocators (registry metrics allocate on first lookup, so the hot
+//!   hook must bypass them), mirrored into an `alloc-count` gauge on
+//!   demand.
 //! - **Reporting** ([`ProfileTable`], [`render_metrics`]): the single
 //!   end-of-run formatting path used by examples and benches, with a
 //!   greppable `== lbq-obs profile ==` banner.
@@ -42,11 +47,13 @@
 //! assert_eq!(ring.records().len(), 3); // event + two spans
 //! ```
 
+pub mod alloc;
 pub mod metrics;
 pub mod report;
 pub mod subscriber;
 pub mod trace;
 
+pub use alloc::{alloc_count, note_alloc, publish_alloc_gauge};
 pub use metrics::{
     counter, gauge, histogram, metrics_snapshot, reset_metrics, Counter, Gauge, Histogram,
     HistogramSummary, MetricValue,

@@ -75,16 +75,17 @@ impl Iterator for NearestIter<'_> {
                     self.tree.access(id);
                     let node = self.tree.node(id);
                     if node.is_leaf() {
-                        let items: Vec<Item> = node.entries.iter().map(|e| e.item()).collect();
+                        let items: Vec<Item> = node.items.clone();
                         for item in items {
                             let d = self.q.dist_sq(item.point);
                             self.push(d, QueueEntry::Item(item));
                         }
                     } else {
                         let children: Vec<(f64, NodeId)> = node
-                            .entries
+                            .mbrs
                             .iter()
-                            .map(|e| (e.mbr().mindist_sq(self.q), e.child()))
+                            .zip(&node.children)
+                            .map(|(mbr, &child)| (mbr.mindist_sq(self.q), child))
                             .collect();
                         for (d, child) in children {
                             self.push(d, QueueEntry::Node(child));

@@ -60,7 +60,7 @@ fn pack_level(tree: &mut RTree, mut entries: Vec<Entry>, level: u32, cap: usize)
     let n = entries.len();
     if n <= cap {
         // Single node (possibly the root; roots may be under-filled).
-        let node = Node { level, entries };
+        let node = Node::from_entries(level, entries);
         // lbq-check: allow(no-unwrap-core) — pack_level is never called empty
         let mbr = node.mbr().expect("non-empty pack");
         let id = tree.alloc(node);
@@ -91,10 +91,7 @@ fn pack_level(tree: &mut RTree, mut entries: Vec<Entry>, level: u32, cap: usize)
         while !remaining.is_empty() {
             let take = chunk_size(remaining.len(), cap, min, max);
             let group: Vec<Entry> = remaining.drain(..take).collect();
-            let node = Node {
-                level,
-                entries: group,
-            };
+            let node = Node::from_entries(level, group);
             // lbq-check: allow(no-unwrap-core) — chunk_size returns ≥ 1
             let mbr = node.mbr().expect("non-empty group");
             let id = tree.alloc(node);

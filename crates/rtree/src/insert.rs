@@ -70,11 +70,11 @@ impl RTree {
             .expect("split root cannot be empty");
         let level = self.node(old_root).level + 1;
         let mut root = Node::new_internal(level);
-        root.entries.push(Entry::Child {
+        root.push_entry(Entry::Child {
             mbr: old_mbr,
             node: old_root,
         });
-        root.entries.push(sibling);
+        root.push_entry(sibling);
         self.root = self.alloc(root);
     }
 
@@ -87,10 +87,10 @@ impl RTree {
     ) -> Propagate {
         let node_level = self.node(node_id).level;
         if node_level == target_level {
-            self.node_mut(node_id).entries.push(entry);
+            self.node_mut(node_id).push_entry(entry);
         } else {
             let idx = self.choose_subtree(node_id, &entry.mbr());
-            let child = self.node(node_id).entries[idx].child();
+            let child = self.node(node_id).children[idx];
             let result = self.insert_rec(child, entry, target_level, reinserted);
             // The child changed shape whatever happened; refresh its MBR.
             let child_mbr = self
@@ -98,17 +98,15 @@ impl RTree {
                 .mbr()
                 // lbq-check: allow(no-unwrap-core) — insertion only adds entries
                 .expect("child emptied during insert");
-            if let Entry::Child { mbr, .. } = &mut self.node_mut(node_id).entries[idx] {
-                *mbr = child_mbr;
-            }
+            self.node_mut(node_id).mbrs[idx] = child_mbr;
             match result {
                 Propagate::Done => {}
                 Propagate::Reinsert(..) => return result,
-                Propagate::Split(sibling) => self.node_mut(node_id).entries.push(sibling),
+                Propagate::Split(sibling) => self.node_mut(node_id).push_entry(sibling),
             }
         }
 
-        if self.node(node_id).entries.len() <= self.config.max_entries {
+        if self.node(node_id).len() <= self.config.max_entries {
             return Propagate::Done;
         }
         // Overflow treatment (R* OT1): the first overflow at each level
@@ -134,13 +132,13 @@ impl RTree {
         let node = self.node(node_id);
         debug_assert!(!node.is_leaf());
         let scored = |i: usize| {
-            let r = node.entries[i].mbr();
+            let r = node.mbrs[i];
             let area = r.area();
             let enlarged = r.union(mbr).area() - area;
             (enlarged, area)
         };
         if node.level > 1 {
-            return (0..node.entries.len())
+            return (0..node.children.len())
                 .min_by(|&a, &b| {
                     let (ea, aa) = scored(a);
                     let (eb, ab) = scored(b);
@@ -151,7 +149,7 @@ impl RTree {
         }
         // Children are leaves: rank by area enlargement, evaluate overlap
         // enlargement on the best few.
-        let mut order: Vec<usize> = (0..node.entries.len()).collect();
+        let mut order: Vec<usize> = (0..node.children.len()).collect();
         order.sort_by(|&a, &b| {
             let (ea, aa) = scored(a);
             let (eb, ab) = scored(b);
@@ -159,18 +157,18 @@ impl RTree {
         });
         order.truncate(CANDIDATES);
         let overlap_of = |i: usize, shape: &Rect| -> f64 {
-            node.entries
+            node.mbrs
                 .iter()
                 .enumerate()
                 .filter(|(j, _)| *j != i)
-                .map(|(_, e)| e.mbr().overlap_area(shape))
+                .map(|(_, r)| r.overlap_area(shape))
                 .sum()
         };
         *order
             .iter()
             .min_by(|&&a, &&b| {
-                let ra = node.entries[a].mbr();
-                let rb = node.entries[b].mbr();
+                let ra = node.mbrs[a];
+                let rb = node.mbrs[b];
                 let da = overlap_of(a, &ra.union(mbr)) - overlap_of(a, &ra);
                 let db = overlap_of(b, &rb.union(mbr)) - overlap_of(b, &rb);
                 let (ea, aa) = scored(a);
@@ -195,16 +193,18 @@ impl RTree {
             .expect("overflowing node is non-empty")
             .center();
         let node = self.node_mut(node_id);
-        node.entries.sort_by(|a, b| {
+        let mut entries = node.take_entries();
+        entries.sort_by(|a, b| {
             let da = a.mbr().center().dist_sq(center);
             let db = b.mbr().center().dist_sq(center);
             da.total_cmp(&db)
         });
-        let keep = node.entries.len() - p;
+        let keep = entries.len() - p;
         // Tail = farthest entries; reverse so the closest evictee is
         // re-inserted first.
-        let mut evicted = node.entries.split_off(keep);
+        let mut evicted = entries.split_off(keep);
         evicted.reverse();
+        node.set_entries(entries);
         evicted
     }
 
@@ -212,7 +212,7 @@ impl RTree {
     /// sibling; `node_id` keeps the first group.
     fn split_node(&mut self, node_id: NodeId) -> Entry {
         let level = self.node(node_id).level;
-        let mut entries = std::mem::take(&mut self.node_mut(node_id).entries);
+        let mut entries = self.node_mut(node_id).take_entries();
         let m = self.config.min_entries;
         let total = entries.len();
         debug_assert!(total == self.config.max_entries + 1);
@@ -254,15 +254,11 @@ impl RTree {
         }
 
         let second = entries.split_off(split_at);
-        self.node_mut(node_id).entries = entries;
-        let mut sibling = Node {
-            level,
-            entries: second,
-        };
+        self.node_mut(node_id).set_entries(entries);
+        let sibling = Node::from_entries(level, second);
         // lbq-check: allow(no-unwrap-core) — both split groups hold ≥ min entries
         let mbr = sibling.mbr().expect("split group non-empty");
         // `alloc` needs &mut self; build the node first.
-        sibling.level = level;
         let node = self.alloc(sibling);
         Entry::Child { mbr, node }
     }
@@ -283,8 +279,8 @@ impl RTree {
         // case orphan reinsertion is still pending below).
         loop {
             let root = self.node(self.root);
-            if !root.is_leaf() && root.entries.len() == 1 {
-                let child = root.entries[0].child();
+            if !root.is_leaf() && root.len() == 1 {
+                let child = root.children[0];
                 let old = self.root;
                 self.root = child;
                 self.dealloc(old);
@@ -311,37 +307,35 @@ impl RTree {
     ) -> bool {
         if self.node(node_id).is_leaf() {
             let node = self.node_mut(node_id);
-            let before = node.entries.len();
-            node.entries.retain(|e| {
-                let item = e.item();
-                !(item.id == id && item.point == point)
-            });
-            return node.entries.len() < before;
+            let before = node.items.len();
+            node.items
+                .retain(|item| !(item.id == id && item.point == point));
+            return node.items.len() < before;
         }
-        let candidates: Vec<(usize, NodeId)> = self
-            .node(node_id)
-            .entries
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.mbr().contains(point))
-            .map(|(i, e)| (i, e.child()))
-            .collect();
+        let candidates: Vec<(usize, NodeId)> = {
+            let node = self.node(node_id);
+            node.mbrs
+                .iter()
+                .zip(&node.children)
+                .enumerate()
+                .filter(|(_, (mbr, _))| mbr.contains(point))
+                .map(|(i, (_, &child))| (i, child))
+                .collect()
+        };
         for (idx, child) in candidates {
             if !self.delete_rec(child, point, id, orphans) {
                 continue;
             }
-            let child_len = self.node(child).entries.len();
+            let child_len = self.node(child).len();
             if child_len < self.config.min_entries {
                 // Dissolve the child: detach it and queue its entries.
                 let level = self.node(child).level;
-                let entries = std::mem::take(&mut self.node_mut(child).entries);
+                let entries = self.node_mut(child).take_entries();
                 orphans.extend(entries.into_iter().map(|e| (e, level)));
-                self.node_mut(node_id).entries.remove(idx);
+                self.node_mut(node_id).remove_child(idx);
                 self.dealloc(child);
             } else if let Some(mbr) = self.node(child).mbr() {
-                if let Entry::Child { mbr: m, .. } = &mut self.node_mut(node_id).entries[idx] {
-                    *m = mbr;
-                }
+                self.node_mut(node_id).mbrs[idx] = mbr;
             }
             return true;
         }

@@ -27,6 +27,13 @@
 //!   the object with the minimum *influence time* — the moment the result
 //!   first changes. This is the workhorse of the paper's validity-region
 //!   construction (its Section 3).
+//! * **Zero-allocation query mode**: every query algorithm has a
+//!   `_in(&mut QueryScratch)` variant ([`RTree::knn_in`],
+//!   [`RTree::window_in`], [`RTree::tp_knn_in`], …) that reuses
+//!   caller-owned working buffers, so a warmed-up query performs zero
+//!   heap allocations. Nodes are stored struct-of-arrays (parallel
+//!   MBR/child arrays, plain item arrays in leaves) so the scan loops
+//!   stream contiguous rects. See DESIGN.md §11.
 //!
 //! ## Metering
 //!
@@ -51,6 +58,7 @@ mod nn;
 mod node;
 mod probe;
 mod query;
+mod scratch;
 mod stats;
 mod tp;
 mod tpwin;
@@ -60,6 +68,7 @@ mod util;
 pub use browse::NearestIter;
 pub use bulk::DEFAULT_BULK_FILL;
 pub use node::{Item, NodeId};
+pub use scratch::QueryScratch;
 pub use stats::{LruBuffer, Stats};
 pub use tp::{TpBound, TpEvent};
 pub use tpwin::{TpWindowChange, TpWindowEvent};

@@ -2,188 +2,180 @@
 //!
 //! Two algorithms, as surveyed in the paper's Section 1:
 //!
-//! * [`RTree::knn_depth_first`] — the branch-and-bound of Roussopoulos,
-//!   Kelley and Vincent `[RKV95]`: depth-first descent visiting entries in
-//!   `mindist` order, pruning entries whose `mindist` exceeds the current
-//!   k-th best distance.
-//! * [`RTree::knn`] — the best-first (incremental) traversal of
-//!   Hjaltason and Samet `[HS99]`, which is I/O-optimal: it visits exactly
-//!   the nodes whose MBR intersects the final k-NN disk.
+//! * [`RTree::knn`] / [`RTree::knn_in`] — the best-first (incremental)
+//!   traversal of Hjaltason and Samet `[HS99]`, which is I/O-optimal: it
+//!   visits exactly the nodes whose MBR intersects the final k-NN disk.
+//! * [`RTree::knn_depth_first`] / [`RTree::knn_depth_first_in`] — the
+//!   branch-and-bound of Roussopoulos, Kelley and Vincent `[RKV95]`:
+//!   depth-first descent visiting entries in `mindist` order, pruning
+//!   entries whose `mindist` exceeds the current k-th best distance.
 //!
 //! Both are exposed because Fig. 27/28 of the paper measure the NN query
 //! cost explicitly, and the difference between the two is itself a
 //! classic result worth benchmarking (see `lbq-bench`).
+//!
+//! The `_in` variants run against a caller-owned [`QueryScratch`] and
+//! allocate nothing once the scratch buffers are warm; the plain
+//! variants delegate to them with a fresh scratch and copy the result
+//! out. Candidates live in a bounded sorted array keyed by slot (see
+//! [`crate::QueryScratch`]), so items sharing a user-supplied id are
+//! all reported rather than collapsing to one.
 
-use crate::node::{Item, NodeId};
+use crate::node::Item;
 use crate::probe::QueryProbe;
+use crate::scratch::QueryScratch;
 use crate::tree::RTree;
 use crate::util::OrdF64;
 use lbq_geom::Point;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-/// A result candidate ordered by distance (max-heap on distance).
-#[derive(Debug, Clone, Copy)]
-struct Candidate {
-    dist_sq: f64,
-    item: Item,
-}
 
 impl RTree {
     /// Best-first k-NN `[HS99]`. Returns up to `k` items sorted by
     /// ascending distance from `q`, with their (exact) distances.
     pub fn knn(&self, q: Point, k: usize) -> Vec<(Item, f64)> {
+        let mut scratch = QueryScratch::new();
+        self.knn_in(q, k, &mut scratch).to_vec()
+    }
+
+    /// [`RTree::knn`] against a reusable scratch: zero steady-state
+    /// allocations. The returned slice borrows the scratch and is valid
+    /// until its next use.
+    pub fn knn_in<'s>(
+        &self,
+        q: Point,
+        k: usize,
+        scratch: &'s mut QueryScratch,
+    ) -> &'s [(Item, f64)] {
         let mut span = lbq_obs::span("rtree-knn");
         let before = self.stats();
         let mut probe = QueryProbe::default();
-        let out = self.knn_probed(q, k, &mut probe);
+        self.knn_probed(q, k, scratch, &mut probe);
         span.record("k", k);
-        span.record("results", out.len());
+        span.record("results", scratch.out_nn.len());
         self.finish_query_span(&mut span, &probe, before);
-        out
+        &scratch.out_nn
     }
 
-    fn knn_probed(&self, q: Point, k: usize, probe: &mut QueryProbe) -> Vec<(Item, f64)> {
+    fn knn_probed(&self, q: Point, k: usize, scratch: &mut QueryScratch, probe: &mut QueryProbe) {
+        scratch.out_nn.clear();
         if k == 0 || self.is_empty() {
-            return Vec::new();
+            return;
         }
-        // Min-heap of (mindist², node).
-        let mut queue: BinaryHeap<Reverse<(OrdF64, NodeId)>> = BinaryHeap::new();
-        // Max-heap of the best k items found so far.
-        let mut best: BinaryHeap<(OrdF64, u64)> = BinaryHeap::new();
-        let mut best_items: std::collections::HashMap<u64, Candidate> =
-            std::collections::HashMap::new();
+        // Min-heap of (mindist², node) and the bounded best-k array.
+        let queue = &mut scratch.queue;
+        queue.clear();
+        let cands = &mut scratch.cands;
+        cands.reset(k);
         queue.push(Reverse((OrdF64::new(0.0), self.root)));
-
-        let worst = |best: &BinaryHeap<(OrdF64, u64)>| -> f64 {
-            best.peek().map_or(f64::INFINITY, |(d, _)| d.0)
-        };
 
         while let Some(Reverse((OrdF64(lb), node_id))) = queue.pop() {
             probe.pop();
-            if best.len() == k && lb >= worst(&best) {
+            if cands.full() && lb >= cands.worst() {
                 break; // no unexplored node can improve the result
             }
             self.access(node_id);
             let node = self.node(node_id);
             probe.visit(node.level);
             if node.is_leaf() {
-                for e in &node.entries {
-                    let item = e.item();
-                    let d = q.dist_sq(item.point);
-                    if best.len() < k {
-                        best.push((OrdF64::new(d), item.id));
-                        best_items.insert(item.id, Candidate { dist_sq: d, item });
-                    } else if d < worst(&best) {
-                        if let Some((_, evicted)) = best.pop() {
-                            best_items.remove(&evicted);
-                        }
-                        best.push((OrdF64::new(d), item.id));
-                        best_items.insert(item.id, Candidate { dist_sq: d, item });
-                    }
+                for &item in &node.items {
+                    cands.consider(q.dist_sq(item.point), item);
                 }
             } else {
-                for e in &node.entries {
-                    let lb = e.mbr().mindist_sq(q);
-                    if best.len() < k || lb < worst(&best) {
-                        queue.push(Reverse((OrdF64::new(lb), e.child())));
+                for (mbr, &child) in node.mbrs.iter().zip(&node.children) {
+                    let lb = mbr.mindist_sq(q);
+                    if !cands.full() || lb < cands.worst() {
+                        queue.push(Reverse((OrdF64::new(lb), child)));
                     }
                 }
             }
         }
-        let mut out: Vec<(Item, f64)> = best_items
-            .into_values()
-            .map(|c| (c.item, c.dist_sq.sqrt()))
-            .collect();
-        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.id.cmp(&b.0.id)));
-        out
+        // The candidate array is already sorted by (dist², id), which is
+        // exactly the output order (√ is monotone).
+        scratch
+            .out_nn
+            .extend(cands.slots().iter().map(|c| (c.item, c.dist_sq.sqrt())));
     }
 
     /// Depth-first branch-and-bound k-NN `[RKV95]`. Same result contract
     /// as [`RTree::knn`]; typically touches a few more nodes (it commits
     /// to a subtree before knowing if a sibling is closer).
     pub fn knn_depth_first(&self, q: Point, k: usize) -> Vec<(Item, f64)> {
+        let mut scratch = QueryScratch::new();
+        self.knn_depth_first_in(q, k, &mut scratch).to_vec()
+    }
+
+    /// [`RTree::knn_depth_first`] against a reusable scratch: zero
+    /// steady-state allocations. The returned slice borrows the scratch
+    /// and is valid until its next use.
+    pub fn knn_depth_first_in<'s>(
+        &self,
+        q: Point,
+        k: usize,
+        scratch: &'s mut QueryScratch,
+    ) -> &'s [(Item, f64)] {
         let mut span = lbq_obs::span("rtree-knn-df");
         let before = self.stats();
         let mut probe = QueryProbe::default();
-        let out = self.knn_depth_first_probed(q, k, &mut probe);
+        self.knn_depth_first_probed(q, k, scratch, &mut probe);
         span.record("k", k);
-        span.record("results", out.len());
+        span.record("results", scratch.out_nn.len());
         self.finish_query_span(&mut span, &probe, before);
-        out
+        &scratch.out_nn
     }
 
     fn knn_depth_first_probed(
         &self,
         q: Point,
         k: usize,
-        probe: &mut QueryProbe,
-    ) -> Vec<(Item, f64)> {
-        if k == 0 || self.is_empty() {
-            return Vec::new();
-        }
-        let mut best: BinaryHeap<(OrdF64, u64)> = BinaryHeap::new();
-        let mut items: std::collections::HashMap<u64, Item> = std::collections::HashMap::new();
-        self.df_visit(self.root, q, k, &mut best, &mut items, probe);
-        let mut out: Vec<(Item, f64)> = best
-            .into_sorted_vec()
-            .into_iter()
-            .map(|(d, id)| (items[&id], d.0.sqrt()))
-            .collect();
-        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.id.cmp(&b.0.id)));
-        out
-    }
-
-    fn df_visit(
-        &self,
-        node_id: NodeId,
-        q: Point,
-        k: usize,
-        best: &mut BinaryHeap<(OrdF64, u64)>,
-        items: &mut std::collections::HashMap<u64, Item>,
+        scratch: &mut QueryScratch,
         probe: &mut QueryProbe,
     ) {
-        probe.pop();
-        self.access(node_id);
-        let node = self.node(node_id);
-        probe.visit(node.level);
-        let worst = |best: &BinaryHeap<(OrdF64, u64)>| -> f64 {
-            if best.len() < k {
-                f64::INFINITY
-            } else {
-                best.peek().map_or(f64::INFINITY, |(d, _)| d.0)
-            }
-        };
-        if node.is_leaf() {
-            for e in &node.entries {
-                let item = e.item();
-                let d = q.dist_sq(item.point);
-                if d < worst(best) || best.len() < k {
-                    if best.len() == k {
-                        if let Some((_, evicted)) = best.pop() {
-                            items.remove(&evicted);
-                        }
-                    }
-                    best.push((OrdF64::new(d), item.id));
-                    items.insert(item.id, item);
-                }
-            }
+        scratch.out_nn.clear();
+        if k == 0 || self.is_empty() {
             return;
         }
-        // Visit children in mindist order (the RKV95 ordering heuristic),
-        // pruning against the evolving k-th best.
-        let mut order: Vec<(f64, NodeId)> = node
-            .entries
-            .iter()
-            .map(|e| (e.mbr().mindist_sq(q), e.child()))
-            .collect();
-        order.sort_by(|a, b| a.0.total_cmp(&b.0));
-        for (lb, child) in order {
-            if lb >= worst(best) && best.len() == k {
-                break; // list is sorted: nothing further qualifies
+        let cands = &mut scratch.cands;
+        cands.reset(k);
+        // Explicit stack replacing the former recursion: children are
+        // pushed closest-last so the traversal order (and therefore the
+        // node-access count) matches the recursive [RKV95] descent; a
+        // node whose bound fails against the *current* k-th best at pop
+        // time is skipped exactly where the recursion would have pruned
+        // it.
+        let stack = &mut scratch.df_stack;
+        stack.clear();
+        stack.push((0.0, self.root));
+        while let Some((lb, node_id)) = stack.pop() {
+            if cands.full() && lb >= cands.worst() {
+                continue;
             }
-            self.df_visit(child, q, k, best, items, probe);
+            probe.pop();
+            self.access(node_id);
+            let node = self.node(node_id);
+            probe.visit(node.level);
+            if node.is_leaf() {
+                for &item in &node.items {
+                    cands.consider(q.dist_sq(item.point), item);
+                }
+                continue;
+            }
+            // Visit children in mindist order (the RKV95 ordering
+            // heuristic), pruning against the evolving k-th best.
+            let order = &mut scratch.order;
+            order.clear();
+            order.extend(
+                node.mbrs
+                    .iter()
+                    .zip(&node.children)
+                    .map(|(mbr, &child)| (mbr.mindist_sq(q), child)),
+            );
+            order.sort_by(|a, b| a.0.total_cmp(&b.0));
+            // Reversed: the closest child must be popped first.
+            stack.extend(order.iter().rev().copied());
         }
+        scratch
+            .out_nn
+            .extend(cands.slots().iter().map(|c| (c.item, c.dist_sq.sqrt())));
     }
 
     /// The single nearest neighbor, `None` on an empty tree.
@@ -219,7 +211,7 @@ mod tests {
 
     fn brute_knn(items: &[Item], q: Point, k: usize) -> Vec<u64> {
         let mut v: Vec<(f64, u64)> = items.iter().map(|i| (q.dist_sq(i.point), i.id)).collect();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         v.into_iter().take(k).map(|(_, id)| id).collect()
     }
 
@@ -308,5 +300,31 @@ mod tests {
         assert_eq!(res.len(), 10);
         // The far point is excluded; all ten duplicates win.
         assert!(res.iter().all(|(i, _)| i.id != 99));
+    }
+
+    #[test]
+    fn duplicate_ids_all_reported() {
+        // Regression: the old HashMap-keyed candidate store collapsed
+        // distinct points sharing a user-supplied id into one result.
+        let mut tree = RTree::new(RTreeConfig::tiny());
+        for i in 0..8 {
+            // Eight distinct points, all under id 7.
+            tree.insert(Item::new(Point::new(i as f64, 0.0), 7));
+        }
+        tree.insert(Item::new(Point::new(100.0, 0.0), 1));
+        let q = Point::new(0.0, 0.0);
+        let res = tree.knn(q, 5);
+        assert_eq!(res.len(), 5, "five nearest slots, duplicate ids kept");
+        assert!(res.iter().all(|(i, _)| i.id == 7));
+        for (rank, (item, d)) in res.iter().enumerate() {
+            assert!((item.point.x - rank as f64).abs() < 1e-12);
+            assert!((d - rank as f64).abs() < 1e-12);
+        }
+        let res_df = tree.knn_depth_first(q, 5);
+        assert_eq!(res_df.len(), 5);
+        assert_eq!(
+            res.iter().map(|(i, _)| i.point).collect::<Vec<_>>(),
+            res_df.iter().map(|(i, _)| i.point).collect::<Vec<_>>()
+        );
     }
 }

@@ -1,9 +1,17 @@
-//! Node and entry representation.
+//! Node and entry representation — struct-of-arrays storage.
 //!
 //! Nodes live in an arena (`Vec<Node>`) inside [`crate::RTree`]; a
 //! [`NodeId`] is an index into it. Each node corresponds to one disk
-//! page in the cost model. Leaf nodes (level 0) hold data points;
-//! internal nodes hold `(MBR, child)` entries.
+//! page in the cost model.
+//!
+//! Storage is split by node kind so the query hot paths scan contiguous
+//! arrays instead of chasing an enum per slot: internal nodes hold
+//! parallel `mbrs`/`children` vectors (a `mindist`/intersection sweep
+//! touches only the rect array), leaves hold a plain `items` vector (no
+//! degenerate per-point `Rect` is ever materialized). The [`Entry`] enum
+//! survives as the *transient* currency of the mutation paths (insert,
+//! split, forced reinsertion, bulk packing), which shuffle heterogeneous
+//! slot lists around and are not performance-critical.
 
 use lbq_geom::{Point, Rect};
 
@@ -30,7 +38,8 @@ impl Item {
     }
 }
 
-/// One slot of a node.
+/// One logical slot of a node, materialized only on the mutation paths
+/// (queries read the split arrays directly).
 #[derive(Debug, Clone)]
 pub(crate) enum Entry {
     /// Internal entry: child page and its minimum bounding rectangle.
@@ -60,7 +69,10 @@ impl Entry {
         }
     }
 
-    /// The item of a leaf entry. Panics on internal entries.
+    /// The item of a leaf entry. Panics on internal entries. Queries
+    /// read leaf items directly from the SoA arrays; this accessor
+    /// remains for tests and future mutation-path use.
+    #[cfg_attr(not(test), allow(dead_code))]
     #[inline]
     pub(crate) fn item(&self) -> Item {
         match self {
@@ -71,19 +83,31 @@ impl Entry {
     }
 }
 
-/// A tree node — one disk page.
+/// A tree node — one disk page, stored struct-of-arrays.
+///
+/// Exactly one representation is populated per node: leaves (level 0)
+/// use `items`; internal nodes use the parallel `mbrs` + `children`
+/// pair. The unused vectors stay empty (a `Vec` at capacity 0 costs
+/// three words and no heap).
 #[derive(Debug, Clone)]
 pub(crate) struct Node {
     /// Level in the tree: 0 for leaves, increasing toward the root.
     pub level: u32,
-    pub entries: Vec<Entry>,
+    /// Internal nodes: child MBRs, index-parallel with `children`.
+    pub mbrs: Vec<Rect>,
+    /// Internal nodes: child page ids.
+    pub children: Vec<NodeId>,
+    /// Leaf nodes: the data points.
+    pub items: Vec<Item>,
 }
 
 impl Node {
     pub(crate) fn new_leaf() -> Self {
         Node {
             level: 0,
-            entries: Vec::new(),
+            mbrs: Vec::new(),
+            children: Vec::new(),
+            items: Vec::new(),
         }
     }
 
@@ -91,7 +115,9 @@ impl Node {
         debug_assert!(level > 0);
         Node {
             level,
-            entries: Vec::new(),
+            mbrs: Vec::new(),
+            children: Vec::new(),
+            items: Vec::new(),
         }
     }
 
@@ -100,15 +126,94 @@ impl Node {
         self.level == 0
     }
 
-    /// The node's own MBR — the union of its entries' MBRs. `None` for an
+    /// Number of occupied slots (entries) in this node.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        if self.is_leaf() {
+            self.items.len()
+        } else {
+            self.children.len()
+        }
+    }
+
+    /// Appends a slot, dispatching on the entry kind. Debug-asserts the
+    /// kind matches the node level.
+    pub(crate) fn push_entry(&mut self, entry: Entry) {
+        match entry {
+            Entry::Child { mbr, node } => {
+                debug_assert!(!self.is_leaf(), "child entry pushed into a leaf");
+                self.mbrs.push(mbr);
+                self.children.push(node);
+            }
+            Entry::Leaf(item) => {
+                debug_assert!(self.is_leaf(), "leaf entry pushed into an internal node");
+                self.items.push(item);
+            }
+        }
+    }
+
+    /// Drains this node's slots into a transient entry list (mutation
+    /// paths only), leaving the node empty.
+    pub(crate) fn take_entries(&mut self) -> Vec<Entry> {
+        if self.is_leaf() {
+            self.items.drain(..).map(Entry::Leaf).collect()
+        } else {
+            self.mbrs
+                .drain(..)
+                .zip(self.children.drain(..))
+                .map(|(mbr, node)| Entry::Child { mbr, node })
+                .collect()
+        }
+    }
+
+    /// Replaces this node's slots from a transient entry list.
+    pub(crate) fn set_entries(&mut self, entries: Vec<Entry>) {
+        self.mbrs.clear();
+        self.children.clear();
+        self.items.clear();
+        for e in entries {
+            self.push_entry(e);
+        }
+    }
+
+    /// Builds a node at `level` from a transient entry list.
+    pub(crate) fn from_entries(level: u32, entries: Vec<Entry>) -> Self {
+        let mut node = Node {
+            level,
+            mbrs: Vec::new(),
+            children: Vec::new(),
+            items: Vec::new(),
+        };
+        node.set_entries(entries);
+        node
+    }
+
+    /// Removes the slot at `i` (internal nodes; used by delete's
+    /// condense step).
+    pub(crate) fn remove_child(&mut self, i: usize) {
+        debug_assert!(!self.is_leaf());
+        self.mbrs.remove(i);
+        self.children.remove(i);
+    }
+
+    /// The node's own MBR — the union of its slots' MBRs. `None` for an
     /// empty node (only the root of an empty tree).
     pub(crate) fn mbr(&self) -> Option<Rect> {
-        let mut it = self.entries.iter();
-        let mut r = it.next()?.mbr();
-        for e in it {
-            r.expand_to_rect(&e.mbr());
+        if self.is_leaf() {
+            let mut it = self.items.iter();
+            let mut r = Rect::from_point(it.next()?.point);
+            for item in it {
+                r.expand_to(item.point);
+            }
+            Some(r)
+        } else {
+            let mut it = self.mbrs.iter();
+            let mut r = *it.next()?;
+            for m in it {
+                r.expand_to_rect(m);
+            }
+            Some(r)
         }
-        Some(r)
     }
 }
 
@@ -125,16 +230,33 @@ mod tests {
     }
 
     #[test]
-    fn node_mbr_unions_entries() {
+    fn node_mbr_unions_slots() {
         let mut n = Node::new_leaf();
         assert!(n.mbr().is_none());
-        n.entries
-            .push(Entry::Leaf(Item::new(Point::new(0.0, 0.0), 1)));
-        n.entries
-            .push(Entry::Leaf(Item::new(Point::new(4.0, -2.0), 2)));
-        n.entries
-            .push(Entry::Leaf(Item::new(Point::new(1.0, 5.0), 3)));
+        n.push_entry(Entry::Leaf(Item::new(Point::new(0.0, 0.0), 1)));
+        n.push_entry(Entry::Leaf(Item::new(Point::new(4.0, -2.0), 2)));
+        n.push_entry(Entry::Leaf(Item::new(Point::new(1.0, 5.0), 3)));
         assert_eq!(n.mbr().unwrap(), Rect::new(0.0, -2.0, 4.0, 5.0));
+        assert_eq!(n.len(), 3);
+    }
+
+    #[test]
+    fn entries_roundtrip_preserves_order() {
+        let mut n = Node::new_internal(2);
+        n.push_entry(Entry::Child {
+            mbr: Rect::new(0.0, 0.0, 1.0, 1.0),
+            node: 4,
+        });
+        n.push_entry(Entry::Child {
+            mbr: Rect::new(2.0, 2.0, 3.0, 3.0),
+            node: 9,
+        });
+        let entries = n.take_entries();
+        assert_eq!(n.len(), 0);
+        assert_eq!(entries.len(), 2);
+        let rebuilt = Node::from_entries(2, entries);
+        assert_eq!(rebuilt.children, vec![4, 9]);
+        assert_eq!(rebuilt.mbrs[1], Rect::new(2.0, 2.0, 3.0, 3.0));
     }
 
     #[test]

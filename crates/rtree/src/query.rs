@@ -1,46 +1,60 @@
 //! Window (range) queries.
 //!
-//! The classic recursive descent: visit every node whose MBR intersects
-//! the query rectangle. Each visited node is metered as one node access
-//! (and one buffer touch), reproducing the paper's NA/PA accounting.
+//! The classic descent: visit every node whose MBR intersects the query
+//! rectangle. Each visited node is metered as one node access (and one
+//! buffer touch), reproducing the paper's NA/PA accounting.
+//!
+//! [`RTree::window_in`] runs the traversal on an explicit stack owned by
+//! the caller's [`QueryScratch`], so steady-state window queries perform
+//! no heap allocations; children are pushed in reverse slot order so the
+//! visit sequence (and thus the result order and access count) is
+//! identical to the former recursive descent.
 
 use crate::node::{Item, NodeId};
 use crate::probe::QueryProbe;
+use crate::scratch::QueryScratch;
 use crate::tree::RTree;
 use lbq_geom::Rect;
 
 impl RTree {
     /// Returns all items inside the closed query rectangle `q`.
     pub fn window(&self, q: &Rect) -> Vec<Item> {
+        let mut scratch = QueryScratch::new();
+        self.window_in(q, &mut scratch).to_vec()
+    }
+
+    /// [`RTree::window`] against a reusable scratch: zero steady-state
+    /// allocations. The returned slice borrows the scratch and is valid
+    /// until its next use.
+    pub fn window_in<'s>(&self, q: &Rect, scratch: &'s mut QueryScratch) -> &'s [Item] {
         let mut span = lbq_obs::span("rtree-window");
         let before = self.stats();
         let mut probe = QueryProbe::default();
-        let mut out = Vec::new();
-        self.window_into(self.root, q, &mut out, &mut probe);
-        span.record("results", out.len());
-        self.finish_query_span(&mut span, &probe, before);
-        out
-    }
-
-    fn window_into(&self, node_id: NodeId, q: &Rect, out: &mut Vec<Item>, probe: &mut QueryProbe) {
-        probe.pop();
-        self.access(node_id);
-        let node = self.node(node_id);
-        probe.visit(node.level);
-        if node.is_leaf() {
-            out.extend(
-                node.entries
-                    .iter()
-                    .map(|e| e.item())
-                    .filter(|item| q.contains(item.point)),
-            );
-            return;
-        }
-        for e in &node.entries {
-            if e.mbr().intersects(q) {
-                self.window_into(e.child(), q, out, probe);
+        scratch.out_items.clear();
+        let stack = &mut scratch.stack;
+        stack.clear();
+        stack.push(self.root);
+        while let Some(node_id) = stack.pop() {
+            probe.pop();
+            self.access(node_id);
+            let node = self.node(node_id);
+            probe.visit(node.level);
+            if node.is_leaf() {
+                scratch
+                    .out_items
+                    .extend(node.items.iter().filter(|item| q.contains(item.point)));
+                continue;
+            }
+            // Reverse order: slot 0 must pop first to match recursion.
+            for (mbr, &child) in node.mbrs.iter().zip(&node.children).rev() {
+                if mbr.intersects(q) {
+                    stack.push(child);
+                }
             }
         }
+        span.record("results", scratch.out_items.len());
+        self.finish_query_span(&mut span, &probe, before);
+        &scratch.out_items
     }
 
     /// Number of items inside `q` without materializing them (same
@@ -53,15 +67,16 @@ impl RTree {
             probe.visit(node.level);
             if node.is_leaf() {
                 return node
-                    .entries
+                    .items
                     .iter()
-                    .filter(|e| q.contains(e.item().point))
+                    .filter(|item| q.contains(item.point))
                     .count();
             }
-            node.entries
+            node.mbrs
                 .iter()
-                .filter(|e| e.mbr().intersects(q))
-                .map(|e| rec(tree, e.child(), q, probe))
+                .zip(&node.children)
+                .filter(|(mbr, _)| mbr.intersects(q))
+                .map(|(_, &child)| rec(tree, child, q, probe))
                 .sum()
         }
         let mut span = lbq_obs::span("rtree-window");
@@ -93,8 +108,8 @@ impl RTree {
             }
             let node = tree.node(node_id);
             if !node.is_leaf() {
-                for e in &node.entries {
-                    rec(tree, e.child(), q, acc);
+                for &child in &node.children {
+                    rec(tree, child, q, acc);
                 }
             }
         }
@@ -187,5 +202,15 @@ mod tests {
         let (i2, c2) = tree.node_intersection_profile(&all);
         assert_eq!(i2, c2);
         assert_eq!(i2 as usize, tree.node_count());
+    }
+
+    #[test]
+    fn window_count_matches_window_accesses() {
+        let (tree, _) = build(400, 29);
+        let q = Rect::new(5.0, 5.0, 60.0, 55.0);
+        let (n, s1) = tree.with_stats(|t| t.window(&q).len());
+        let (c, s2) = tree.with_stats(|t| t.window_count(&q));
+        assert_eq!(n, c);
+        assert_eq!(s1.node_accesses, s2.node_accesses);
     }
 }

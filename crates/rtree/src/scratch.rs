@@ -1,0 +1,216 @@
+//! Reusable query scratch space.
+//!
+//! Every query algorithm in this crate has a `_in(&mut QueryScratch)`
+//! variant that performs **zero heap allocations in steady state**: all
+//! working storage (best-first frontier, k-candidate array, DFS stacks,
+//! output buffers) lives in the scratch and retains its capacity across
+//! calls. The classic allocating entry points (`knn`, `window`, …)
+//! delegate to the `_in` variants with a fresh scratch, so results are
+//! identical by construction.
+//!
+//! The k-candidate set is a bounded sorted array rather than the usual
+//! `BinaryHeap` + id-keyed `HashMap` pair: k is small (the paper's
+//! experiments stop at k = 10), so a sorted insert into a `Vec` beats
+//! hashing, keeps the output pre-sorted, and — because candidates are
+//! keyed by their slot, not by `item.id` — two distinct points sharing a
+//! user-supplied id can no longer silently collapse into one result.
+
+use crate::node::{Item, NodeId};
+use crate::util::OrdF64;
+use lbq_geom::Point;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// A result candidate: squared distance plus the item itself.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Candidate {
+    pub(crate) dist_sq: f64,
+    pub(crate) item: Item,
+}
+
+/// Bounded best-k candidate array, kept sorted ascending by
+/// `(dist_sq, item.id)`.
+///
+/// Replaces the `BinaryHeap<(OrdF64, u64)>` + `HashMap<u64, Candidate>`
+/// pair the kNN algorithms used to allocate per query. Candidates are
+/// addressed by slot, so duplicate ids coexist; the shared
+/// [`CandidateSet::worst`] helper is the single pruning bound the
+/// best-first and depth-first searches both use.
+#[derive(Debug, Default)]
+pub(crate) struct CandidateSet {
+    k: usize,
+    slots: Vec<Candidate>,
+}
+
+impl CandidateSet {
+    /// Empties the set and re-arms it for a new query with capacity `k`.
+    /// Retains the backing allocation.
+    pub(crate) fn reset(&mut self, k: usize) {
+        self.slots.clear();
+        self.k = k;
+    }
+
+    /// `true` when all `k` slots are occupied.
+    #[inline]
+    pub(crate) fn full(&self) -> bool {
+        self.slots.len() == self.k
+    }
+
+    /// The pruning bound: the k-th best squared distance, or `+∞` while
+    /// the set is not yet full.
+    #[inline]
+    pub(crate) fn worst(&self) -> f64 {
+        if self.full() {
+            self.slots.last().map_or(f64::INFINITY, |c| c.dist_sq)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Offers a candidate: inserted while the set is under-full, or when
+    /// it strictly beats the current worst (which is then evicted).
+    pub(crate) fn consider(&mut self, dist_sq: f64, item: Item) {
+        if self.full() {
+            if dist_sq.total_cmp(&self.worst()) != Ordering::Less {
+                return;
+            }
+            self.slots.pop();
+        }
+        let pos = self.slots.partition_point(|c| {
+            c.dist_sq.total_cmp(&dist_sq).then(c.item.id.cmp(&item.id)) != Ordering::Greater
+        });
+        self.slots.insert(pos, Candidate { dist_sq, item });
+    }
+
+    /// The candidates, ascending by `(dist_sq, id)`.
+    #[inline]
+    pub(crate) fn slots(&self) -> &[Candidate] {
+        &self.slots
+    }
+}
+
+/// Reusable working storage for the tree's query algorithms.
+///
+/// Create one per thread (it is cheap and `Send`), pass it to the `_in`
+/// query variants (`RTree::knn_in`, `RTree::window_in`,
+/// `RTree::tp_knn_in`, …), and reuse it across queries: after a warm-up
+/// call every buffer holds enough capacity and subsequent queries touch
+/// the allocator zero times. A scratch carries no query state between
+/// calls — every algorithm resets the buffers it uses — so interleaving
+/// different query kinds on one scratch is always sound.
+///
+/// ```
+/// # use lbq_rtree::{QueryScratch, RTree, RTreeConfig, Item};
+/// # use lbq_geom::Point;
+/// # let mut tree = RTree::new(RTreeConfig::tiny());
+/// # for i in 0..100 { tree.insert(Item::new(Point::new(i as f64, 0.0), i)); }
+/// let mut scratch = QueryScratch::new();
+/// for i in 0..10 {
+///     let res = tree.knn_in(Point::new(i as f64, 0.0), 3, &mut scratch);
+///     assert_eq!(res.len(), 3);
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    /// Best-first frontier: min-heap of (lower bound, node).
+    pub(crate) queue: BinaryHeap<Reverse<(OrdF64, NodeId)>>,
+    /// Bounded best-k candidate array.
+    pub(crate) cands: CandidateSet,
+    /// Plain DFS stack (window traversals).
+    pub(crate) stack: Vec<NodeId>,
+    /// Bound-carrying DFS stack (depth-first kNN).
+    pub(crate) df_stack: Vec<(f64, NodeId)>,
+    /// Child-ordering buffer (depth-first kNN mindist sort).
+    pub(crate) order: Vec<(f64, NodeId)>,
+    /// Output buffer for (item, distance) results.
+    pub(crate) out_nn: Vec<(Item, f64)>,
+    /// Output buffer for item results.
+    pub(crate) out_items: Vec<Item>,
+    /// Vertex-confirmation ring `(vertex, confirmed)` for the
+    /// validity-region construction in `lbq-core`. Hosted here so the
+    /// one scratch threaded through the TPNN chain also serves the
+    /// region loop allocation-free.
+    pub region_vertices: Vec<(Point, bool)>,
+    /// Double buffer for [`QueryScratch::region_vertices`] (the flag
+    /// carry across a polygon clip reads the old ring while writing the
+    /// new one).
+    pub region_spare: Vec<(Point, bool)>,
+    /// Staging buffer for in-place polygon clipping
+    /// ([`lbq_geom::ConvexPolygon::clip_in_place`]).
+    pub region_clip: Vec<Point>,
+}
+
+impl QueryScratch {
+    /// Creates an empty scratch. Buffers grow on first use and are
+    /// retained afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbq_geom::Point;
+
+    fn item(id: u64) -> Item {
+        Item::new(Point::new(id as f64, 0.0), id)
+    }
+
+    #[test]
+    fn keeps_best_k_sorted() {
+        let mut c = CandidateSet::default();
+        c.reset(3);
+        for (d, id) in [(9.0, 1), (1.0, 2), (4.0, 3), (16.0, 4), (2.0, 5)] {
+            c.consider(d, item(id));
+        }
+        let got: Vec<(f64, u64)> = c.slots().iter().map(|c| (c.dist_sq, c.item.id)).collect();
+        assert_eq!(got, vec![(1.0, 2), (2.0, 5), (4.0, 3)]);
+        assert_eq!(c.worst(), 4.0);
+    }
+
+    #[test]
+    fn worst_is_infinite_while_underfull() {
+        let mut c = CandidateSet::default();
+        c.reset(2);
+        assert_eq!(c.worst(), f64::INFINITY);
+        c.consider(5.0, item(0));
+        assert!(!c.full());
+        assert_eq!(c.worst(), f64::INFINITY);
+        c.consider(7.0, item(1));
+        assert!(c.full());
+        assert_eq!(c.worst(), 7.0);
+    }
+
+    #[test]
+    fn equal_distance_does_not_evict() {
+        // Matches the heap semantics: a tie with the worst is rejected.
+        let mut c = CandidateSet::default();
+        c.reset(1);
+        c.consider(3.0, item(7));
+        c.consider(3.0, item(1));
+        assert_eq!(c.slots()[0].item.id, 7);
+    }
+
+    #[test]
+    fn duplicate_ids_occupy_distinct_slots() {
+        let mut c = CandidateSet::default();
+        c.reset(4);
+        c.consider(1.0, Item::new(Point::new(1.0, 0.0), 42));
+        c.consider(2.0, Item::new(Point::new(0.0, 1.4), 42));
+        assert_eq!(c.slots().len(), 2, "same id must not collapse slots");
+    }
+
+    #[test]
+    fn reset_retains_capacity() {
+        let mut c = CandidateSet::default();
+        c.reset(8);
+        for i in 0..8 {
+            c.consider(i as f64, item(i));
+        }
+        let cap = c.slots.capacity();
+        c.reset(8);
+        assert!(c.slots().is_empty());
+        assert_eq!(c.slots.capacity(), cap);
+    }
+}

@@ -34,13 +34,24 @@
 //!   more nodes) but costs O(k) quadratic solves per entry. The
 //!   `ablation_tpnn_bound` benchmark quantifies the trade.
 
-use crate::node::{Item, NodeId};
+use crate::node::Item;
 use crate::probe::QueryProbe;
+use crate::scratch::QueryScratch;
 use crate::tree::RTree;
 use crate::util::OrdF64;
 use lbq_geom::{Point, Rect, Vec2};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+
+/// Relative slack widening the squared-space radial prune so it is
+/// strictly conservative against the rounding of `r * r`: no child the
+/// exact sqrt-based test would keep is ever dropped.
+// lbq-check: allow(local-epsilon) — prune-widening slack, not a tolerance
+const RADIAL_SLACK: f64 = 1e-12;
+
+/// Relative slack widening the capsule interval tests against the
+/// ≲1e-14 rounding of the dot products and the influence-time division.
+// lbq-check: allow(local-epsilon) — prune-widening slack, not a tolerance
+const CAPSULE_SLACK: f64 = 1e-9;
 
 /// The result-changing event found by a TP query.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,9 +84,35 @@ impl RTree {
         self.tp_knn(q, dir, t_max, std::slice::from_ref(&inner))
     }
 
+    /// [`RTree::tp_nn`] against a reusable scratch: zero steady-state
+    /// allocations.
+    pub fn tp_nn_in(
+        &self,
+        q: Point,
+        dir: Vec2,
+        t_max: f64,
+        inner: Item,
+        scratch: &mut QueryScratch,
+    ) -> Option<TpEvent> {
+        self.tp_knn_in(q, dir, t_max, std::slice::from_ref(&inner), scratch)
+    }
+
     /// TPkNN with the default (loose) pruning bound.
     pub fn tp_knn(&self, q: Point, dir: Vec2, t_max: f64, inner: &[Item]) -> Option<TpEvent> {
         self.tp_knn_with_bound(q, dir, t_max, inner, TpBound::Loose)
+    }
+
+    /// [`RTree::tp_knn`] against a reusable scratch: zero steady-state
+    /// allocations.
+    pub fn tp_knn_in(
+        &self,
+        q: Point,
+        dir: Vec2,
+        t_max: f64,
+        inner: &[Item],
+        scratch: &mut QueryScratch,
+    ) -> Option<TpEvent> {
+        self.tp_knn_with_bound_in(q, dir, t_max, inner, TpBound::Loose, scratch)
     }
 
     /// TPkNN: finds the outer object with minimum influence time w.r.t.
@@ -92,16 +129,32 @@ impl RTree {
         inner: &[Item],
         bound: TpBound,
     ) -> Option<TpEvent> {
+        let mut scratch = QueryScratch::new();
+        self.tp_knn_with_bound_in(q, dir, t_max, inner, bound, &mut scratch)
+    }
+
+    /// [`RTree::tp_knn_with_bound`] against a reusable scratch: zero
+    /// steady-state allocations.
+    pub fn tp_knn_with_bound_in(
+        &self,
+        q: Point,
+        dir: Vec2,
+        t_max: f64,
+        inner: &[Item],
+        bound: TpBound,
+        scratch: &mut QueryScratch,
+    ) -> Option<TpEvent> {
         let mut span = lbq_obs::span("rtree-tpnn");
         let before = self.stats();
         let mut probe = QueryProbe::default();
-        let out = self.tp_knn_probed(q, dir, t_max, inner, bound, &mut probe);
+        let out = self.tp_knn_probed(q, dir, t_max, inner, bound, scratch, &mut probe);
         span.record("inner", inner.len());
         span.record("found", out.is_some());
         self.finish_query_span(&mut span, &probe, before);
         out
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn tp_knn_probed(
         &self,
         q: Point,
@@ -109,6 +162,7 @@ impl RTree {
         t_max: f64,
         inner: &[Item],
         bound: TpBound,
+        scratch: &mut QueryScratch,
         probe: &mut QueryProbe,
     ) -> Option<TpEvent> {
         assert!(!inner.is_empty(), "TP query needs the current result set");
@@ -118,17 +172,72 @@ impl RTree {
             dir.norm()
         );
         let d_max = inner.iter().map(|o| q.dist(o.point)).fold(0.0f64, f64::max);
+        // Rotated frame for the directional capsule prune: `u` is the
+        // component of `p − q` along the ray, `w` across it. An event at
+        // time `t ≤ h` needs `dist(q + t·dir, p) ≤ d_max + t` (p must
+        // come as close as some inner object, which started ≤ d_max away
+        // and recedes at rate ≤ 1). Projecting that disk sweep:
+        //   u ∈ [−d_max, d_max + 2h],   |w| ≤ d_max + h.
+        // The radial bound alone keeps the whole ball of radius
+        // 2h + d_max; the capsule kills everything behind the query and
+        // the perpendicular band — most of the ball when h is large.
+        let perp = Vec2::new(-dir.y, dir.x);
 
-        let entry_bound = |mbr: &Rect| -> f64 {
-            match bound {
-                TpBound::Loose => ((mbr.mindist(q) - d_max) * 0.5).max(0.0),
-                TpBound::Exact => exact_entry_bound(q, dir, mbr, inner, t_max),
-            }
-        };
-
-        let mut queue: BinaryHeap<Reverse<(OrdF64, NodeId)>> = BinaryHeap::new();
+        let queue = &mut scratch.queue;
+        queue.clear();
         queue.push(Reverse((OrdF64::new(0.0), self.root)));
         let mut best: Option<TpEvent> = None;
+
+        // Greedy seed dive: walk the mindist-closest child chain to one
+        // leaf and scan it before the best-first phase. Wide-horizon
+        // queries otherwise flood the frontier with children at full
+        // `t_max` only to discard them once the first event collapses
+        // the horizon. The seed leaf is re-scanned when popped; an
+        // equal-time rediscovery is not "better" under the tie-break,
+        // so results are unchanged. Narrow queries (only one root child
+        // inside the closing-speed disk — e.g. the short vertex probes
+        // of the validity-region loop) skip the dive: their frontier
+        // never floods, so the extra leaf scan is pure overhead.
+        let wide = {
+            let root = self.node(self.root);
+            let r = (2.0 * t_max + d_max) * (1.0 + RADIAL_SLACK);
+            let keep_sq = r * r;
+            !root.is_leaf()
+                && root
+                    .mbrs
+                    .iter()
+                    .filter(|m| m.mindist_sq(q) <= keep_sq)
+                    .count()
+                    > 1
+        };
+        if wide {
+            let mut dive = self.root;
+            loop {
+                self.access(dive);
+                let node = self.node(dive);
+                probe.visit(node.level);
+                if node.is_leaf() {
+                    scan_leaf(&node.items, q, dir, perp, d_max, t_max, inner, &mut best);
+                    break;
+                }
+                // The mindist-closest child; an exact hit (q inside the
+                // MBR) short-circuits the scan.
+                let mut next = None;
+                let mut next_md = f64::INFINITY;
+                for (mbr, &child) in node.mbrs.iter().zip(&node.children) {
+                    let md = mbr.mindist_sq(q);
+                    if md < next_md {
+                        next_md = md;
+                        next = Some(child);
+                        if md <= 0.0 {
+                            break;
+                        }
+                    }
+                }
+                let Some(next) = next else { break };
+                dive = next;
+            }
+        }
 
         while let Some(Reverse((OrdF64(lb), node_id))) = queue.pop() {
             probe.pop();
@@ -140,33 +249,63 @@ impl RTree {
             let node = self.node(node_id);
             probe.visit(node.level);
             if node.is_leaf() {
-                for e in &node.entries {
-                    let item = e.item();
-                    if inner.iter().any(|o| o.id == item.id) {
-                        continue;
-                    }
-                    if let Some((t, partner)) = influence_time(q, dir, item.point, inner) {
-                        let horizon = best.as_ref().map_or(t_max, |e| e.time.min(t_max));
-                        let better = t < horizon
-                            || (t <= horizon
-                                && best
-                                    .as_ref()
-                                    .is_some_and(|b| t == b.time && item.id < b.object.id));
-                        if t <= t_max && better {
-                            best = Some(TpEvent {
-                                object: item,
-                                partner,
-                                time: t,
-                            });
+                scan_leaf(&node.items, q, dir, perp, d_max, t_max, inner, &mut best);
+            } else {
+                // `best` only changes in leaf scans, so the horizon is
+                // loop-invariant here.
+                let horizon = best.as_ref().map_or(t_max, |ev| ev.time.min(t_max));
+                match bound {
+                    TpBound::Loose => {
+                        // The loose bound keeps a child iff
+                        // `(mindist − d_max)/2 ≤ horizon`, i.e.
+                        // `mindist ≤ 2·horizon + d_max`. Testing that in
+                        // squared space skips the sqrt for every pruned
+                        // child — at paper fanout that is ~200 sqrts per
+                        // node. The slack keeps the squared test strictly
+                        // conservative, so no child the exact test would
+                        // keep is ever dropped; survivors get the same
+                        // sqrt-based bound as before, so pop order and
+                        // results are unchanged.
+                        let r = (2.0 * horizon + d_max) * (1.0 + RADIAL_SLACK);
+                        let keep_sq = r * r;
+                        let u_hi = d_max + 2.0 * horizon;
+                        let w_hi = d_max + horizon;
+                        for (mbr, &child) in node.mbrs.iter().zip(&node.children) {
+                            let md_sq = mbr.mindist_sq(q);
+                            if md_sq > keep_sq {
+                                continue;
+                            }
+                            // Directional capsule prune (see `perp`
+                            // above), on the MBR's interval images in
+                            // the rotated frame: center projection ±
+                            // half-extent.
+                            let c = q.to(mbr.center());
+                            let hx = (mbr.xmax - mbr.xmin) * 0.5;
+                            let hy = (mbr.ymax - mbr.ymin) * 0.5;
+                            let u_c = dir.dot(c);
+                            let u_half = dir.x.abs() * hx + dir.y.abs() * hy;
+                            let w_c = perp.dot(c);
+                            let w_half = perp.x.abs() * hx + perp.y.abs() * hy;
+                            let sl = CAPSULE_SLACK * (r + u_c.abs() + w_c.abs() + u_half + w_half);
+                            if u_c + u_half < -d_max - sl
+                                || u_c - u_half > u_hi + sl
+                                || w_c.abs() - w_half > w_hi + sl
+                            {
+                                continue;
+                            }
+                            let lb = ((md_sq.sqrt() - d_max) * 0.5).max(0.0);
+                            if lb <= horizon {
+                                queue.push(Reverse((OrdF64::new(lb), child)));
+                            }
                         }
                     }
-                }
-            } else {
-                for e in &node.entries {
-                    let lb = entry_bound(&e.mbr());
-                    let horizon = best.as_ref().map_or(t_max, |ev| ev.time.min(t_max));
-                    if lb <= horizon {
-                        queue.push(Reverse((OrdF64::new(lb), e.child())));
+                    TpBound::Exact => {
+                        for (mbr, &child) in node.mbrs.iter().zip(&node.children) {
+                            let lb = exact_entry_bound(q, dir, mbr, inner, t_max);
+                            if lb <= horizon {
+                                queue.push(Reverse((OrdF64::new(lb), child)));
+                            }
+                        }
                     }
                 }
             }
@@ -175,12 +314,88 @@ impl RTree {
     }
 }
 
+/// Scans one leaf's items, updating `best` in place.
+///
+/// Per-item prunes, refreshed whenever the horizon shrinks:
+/// (a) closing-speed — the influence time of `p` is at least
+/// `(dist(q,p) − d_max) / 2` (the gap to any inner object closes at rate
+/// ≤ 2), so items beyond the disk of radius `2·horizon + d_max` cannot
+/// beat the current best; (b) the directional capsule test on the
+/// rotated components (see `tp_knn_probed`). The tiny relative slacks
+/// keep every test strictly conservative against the ≲1e-14 rounding of
+/// the influence-time division, so pruned and unpruned scans return
+/// bit-identical events.
+#[allow(clippy::too_many_arguments)]
+fn scan_leaf(
+    items: &[Item],
+    q: Point,
+    dir: Vec2,
+    perp: Vec2,
+    d_max: f64,
+    t_max: f64,
+    inner: &[Item],
+    best: &mut Option<TpEvent>,
+) {
+    let mut horizon = best.as_ref().map_or(t_max, |e| e.time.min(t_max));
+    let thresholds = |h: f64| -> (f64, f64, f64, f64) {
+        let r = (2.0 * h + d_max) * (1.0 + RADIAL_SLACK);
+        let sl = CAPSULE_SLACK * (r + d_max);
+        (r * r, -d_max - sl, d_max + 2.0 * h + sl, d_max + h + sl)
+    };
+    let (mut reach_sq, mut u_lo, mut u_hi, mut w_abs) = thresholds(horizon);
+    for &item in items {
+        let v = q.to(item.point);
+        let dp_sq = v.dot(v);
+        if dp_sq > reach_sq {
+            continue;
+        }
+        let u = dir.dot(v);
+        if u < u_lo || u > u_hi || perp.dot(v).abs() > w_abs {
+            continue;
+        }
+        if inner.iter().any(|o| o.id == item.id) {
+            continue;
+        }
+        if let Some((t, partner)) = influence_time_from(dp_sq, q, dir, item.point, inner) {
+            let better = t < horizon
+                || (t <= horizon
+                    && best
+                        .as_ref()
+                        .is_some_and(|b| t == b.time && item.id < b.object.id));
+            if t <= t_max && better {
+                *best = Some(TpEvent {
+                    object: item,
+                    partner,
+                    time: t,
+                });
+                horizon = t.min(t_max);
+                (reach_sq, u_lo, u_hi, w_abs) = thresholds(horizon);
+            }
+        }
+    }
+}
+
 /// Influence time of point `p` against the inner set: the earliest
 /// bisector crossing, with the inner partner achieving it. `None` when
 /// `p` never influences the result along this ray.
+// The hot path precomputes dist² and calls `influence_time_from`; this
+// convenience wrapper remains for the reference implementations in the
+// test suite.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn influence_time(q: Point, dir: Vec2, p: Point, inner: &[Item]) -> Option<(f64, Item)> {
+    influence_time_from(q.dist_sq(p), q, dir, p, inner)
+}
+
+/// [`influence_time`] with `dist²(q, p)` precomputed — the leaf hot
+/// path computes it anyway for the closing-speed prune.
+fn influence_time_from(
+    dp_sq: f64,
+    q: Point,
+    dir: Vec2,
+    p: Point,
+    inner: &[Item],
+) -> Option<(f64, Item)> {
     let mut best: Option<(f64, Item)> = None;
-    let dp_sq = q.dist_sq(p);
     for &o in inner {
         let f0 = dp_sq - q.dist_sq(o.point);
         let denom = 2.0 * dir.dot(o.point.to(p));
@@ -215,8 +430,11 @@ fn exact_entry_bound(q: Point, dir: Vec2, mbr: &Rect, inner: &[Item], t_max: f64
         return 0.0;
     }
     // Interval breakpoints: where the moving point crosses the slab
-    // boundaries of the MBR (the clamp regime of mindist changes).
-    let mut ts = vec![0.0, t_max];
+    // boundaries of the MBR (the clamp regime of mindist changes). At
+    // most six — 0, t_max, and four slab crossings — so a fixed array
+    // keeps this bound computation allocation-free.
+    let mut ts = [0.0, t_max, 0.0, 0.0, 0.0, 0.0];
+    let mut n = 2;
     for (coord, d, lo, hi) in [
         (q.x, dir.x, mbr.xmin, mbr.xmax),
         (q.y, dir.y, mbr.ymin, mbr.ymax),
@@ -225,15 +443,23 @@ fn exact_entry_bound(q: Point, dir: Vec2, mbr: &Rect, inner: &[Item], t_max: f64
             for b in [lo, hi] {
                 let t = (b - coord) / d;
                 if t > 0.0 && t < t_max {
-                    ts.push(t);
+                    ts[n] = t;
+                    n += 1;
                 }
             }
         }
     }
+    let ts = &mut ts[..n];
     ts.sort_by(f64::total_cmp);
-    ts.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
+    let mut m = 1;
+    for i in 1..ts.len() {
+        if (ts[i] - ts[m - 1]).abs() >= 1e-15 {
+            ts[m] = ts[i];
+            m += 1;
+        }
+    }
 
-    for w in ts.windows(2) {
+    for w in ts[..m].windows(2) {
         let (t0, t1) = (w[0], w[1]);
         if t1 <= t0 {
             continue;

@@ -14,13 +14,13 @@
 //!   entry time into the child MBR inflated by the window half-extents
 //!   — the Minkowski region of the whole subtree).
 
-use crate::node::{Item, NodeId};
+use crate::node::Item;
 use crate::probe::QueryProbe;
+use crate::scratch::QueryScratch;
 use crate::tree::RTree;
 use crate::util::OrdF64;
 use lbq_geom::{Point, Rect, Vec2};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// How a TP window event changes the result.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,10 +54,27 @@ impl RTree {
         hy: f64,
         result: &[Item],
     ) -> Option<TpWindowEvent> {
+        let mut scratch = QueryScratch::new();
+        self.tp_window_in(c, dir, t_max, hx, hy, result, &mut scratch)
+    }
+
+    /// [`RTree::tp_window`] against a reusable scratch: zero
+    /// steady-state allocations.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tp_window_in(
+        &self,
+        c: Point,
+        dir: Vec2,
+        t_max: f64,
+        hx: f64,
+        hy: f64,
+        result: &[Item],
+        scratch: &mut QueryScratch,
+    ) -> Option<TpWindowEvent> {
         let mut span = lbq_obs::span("rtree-tp-window");
         let before = self.stats();
         let mut probe = QueryProbe::default();
-        let out = self.tp_window_probed(c, dir, t_max, hx, hy, result, &mut probe);
+        let out = self.tp_window_probed(c, dir, t_max, hx, hy, result, scratch, &mut probe);
         span.record("result-size", result.len());
         span.record("found", out.is_some());
         self.finish_query_span(&mut span, &probe, before);
@@ -73,6 +90,7 @@ impl RTree {
         hx: f64,
         hy: f64,
         result: &[Item],
+        scratch: &mut QueryScratch,
         probe: &mut QueryProbe,
     ) -> Option<TpWindowEvent> {
         debug_assert!((dir.norm() - 1.0).abs() < lbq_geom::EPS, "dir must be unit");
@@ -105,7 +123,8 @@ impl RTree {
         }
 
         // Enter events: best-first search ordered by subtree entry time.
-        let mut queue: BinaryHeap<Reverse<(OrdF64, NodeId)>> = BinaryHeap::new();
+        let queue = &mut scratch.queue;
+        queue.clear();
         if !self.is_empty() {
             queue.push(Reverse((OrdF64::new(0.0), self.root)));
         }
@@ -119,8 +138,7 @@ impl RTree {
             let node = self.node(node_id);
             probe.visit(node.level);
             if node.is_leaf() {
-                for e in &node.entries {
-                    let item = e.item();
+                for &item in &node.items {
                     if result.iter().any(|r| r.id == item.id) {
                         continue;
                     }
@@ -141,15 +159,15 @@ impl RTree {
                     }
                 }
             } else {
-                for e in &node.entries {
-                    let inflated = e.mbr().inflate(hx, hy);
+                for (mbr, &child) in node.mbrs.iter().zip(&node.children) {
+                    let inflated = mbr.inflate(hx, hy);
                     let lb = match inflated.ray_interval(c, dir) {
                         Some((t_in, t_out)) if t_out >= 0.0 => t_in.max(0.0),
                         _ => continue,
                     };
                     let horizon = best.as_ref().map_or(t_max, |e| e.time.min(t_max));
                     if lb <= horizon {
-                        queue.push(Reverse((OrdF64::new(lb), e.child())));
+                        queue.push(Reverse((OrdF64::new(lb), child)));
                     }
                 }
             }

@@ -1,6 +1,6 @@
 //! The tree handle: arena storage, metering, and structural invariants.
 
-use crate::node::{Entry, Item, Node, NodeId};
+use crate::node::{Item, Node, NodeId};
 use crate::stats::{LruBuffer, Stats, StatsCell};
 use crate::util::{idx, node_id};
 use crate::RTreeConfig;
@@ -226,9 +226,9 @@ impl RTree {
             let id = stack.pop()?;
             let node = &self.nodes[idx(id)];
             if node.is_leaf() {
-                pending.extend(node.entries.iter().map(|e| e.item()));
+                pending.extend(node.items.iter().copied());
             } else {
-                stack.extend(node.entries.iter().map(|e| e.child()));
+                stack.extend(node.children.iter().copied());
             }
         })
     }
@@ -281,7 +281,7 @@ impl RTree {
         item_count: &mut usize,
     ) -> Result<(), String> {
         let node = self.node(id);
-        let n = node.entries.len();
+        let n = node.len();
         if is_root {
             if !node.is_leaf() && n < 2 {
                 return Err(format!("internal root with {n} entries"));
@@ -303,14 +303,23 @@ impl RTree {
             }
         }
         if node.is_leaf() {
+            if !node.children.is_empty() || !node.mbrs.is_empty() {
+                return Err(format!("internal slots populated in leaf {id}"));
+            }
             *item_count += n;
             return Ok(());
         }
-        for e in &node.entries {
-            let (mbr, child) = match e {
-                Entry::Child { mbr, node } => (*mbr, *node),
-                Entry::Leaf(_) => return Err(format!("leaf entry in internal node {id}")),
-            };
+        if !node.items.is_empty() {
+            return Err(format!("leaf items in internal node {id}"));
+        }
+        if node.mbrs.len() != node.children.len() {
+            return Err(format!(
+                "node {id} parallel arrays diverge: {} MBRs vs {} children",
+                node.mbrs.len(),
+                node.children.len()
+            ));
+        }
+        for (&mbr, &child) in node.mbrs.iter().zip(&node.children) {
             let child_node = self.node(child);
             if child_node.level + 1 != node.level {
                 return Err(format!(
@@ -444,14 +453,11 @@ mod tests {
     fn validate_catches_corrupt_child_mbr() {
         let mut t = small_tree();
         let root = t.root;
-        // Shrink the first child entry's MBR so it no longer bounds the
+        // Shrink the first child slot's MBR so it no longer bounds the
         // child — exactly the corruption a buggy split would cause.
-        if let Entry::Child { mbr, .. } = &mut t.nodes[idx(root)].entries[0] {
-            mbr.xmax = mbr.xmin;
-            mbr.ymax = mbr.ymin;
-        } else {
-            panic!("root of a multi-level tree has child entries");
-        }
+        let mbr = &mut t.nodes[idx(root)].mbrs[0];
+        mbr.xmax = mbr.xmin;
+        mbr.ymax = mbr.ymin;
         let err = t.validate().unwrap_err();
         assert!(err.contains("MBR"), "unexpected error: {err}");
     }
@@ -467,7 +473,7 @@ mod tests {
     #[test]
     fn validate_catches_corrupt_level() {
         let mut t = small_tree();
-        let first_child = t.nodes[idx(t.root)].entries[0].child();
+        let first_child = t.nodes[idx(t.root)].children[0];
         t.nodes[idx(first_child)].level += 1;
         assert!(t.validate().is_err());
     }
@@ -475,9 +481,15 @@ mod tests {
     #[test]
     fn validate_catches_starved_node() {
         let mut t = small_tree();
-        let first_child = t.nodes[idx(t.root)].entries[0].child();
+        let first_child = t.nodes[idx(t.root)].children[0];
         // Drain a non-root node below min_entries behind the tree's back.
-        t.nodes[idx(first_child)].entries.truncate(1);
+        let child = &mut t.nodes[idx(first_child)];
+        if child.is_leaf() {
+            child.items.truncate(1);
+        } else {
+            child.mbrs.truncate(1);
+            child.children.truncate(1);
+        }
         assert!(t.validate().is_err());
     }
 

@@ -2,9 +2,10 @@
 
 use crate::cache::{CacheConfig, RegionCache};
 use crate::pool::{Job, Pool};
-use crate::{answer_on, QueryReq, QueryResp};
+use crate::{answer_on_with, QueryReq, QueryResp};
 use lbq_core::LbqServer;
 use lbq_obs::HistogramSummary;
+use lbq_rtree::QueryScratch;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
@@ -147,12 +148,12 @@ impl Engine {
                 let cache = Arc::clone(&self.cache);
                 let stats = Arc::clone(&self.stats);
                 let latency = self.batch_latency.clone();
-                Box::new(move |worker: usize| {
+                Box::new(move |worker: usize, scratch: &mut QueryScratch| {
                     let start = Instant::now();
                     let (answer, from_cache) = match cache.lookup(&req) {
                         Some(hit) => (hit, true),
                         None => {
-                            let fresh = Arc::new(answer_on(&server, &req));
+                            let fresh = Arc::new(answer_on_with(&server, &req, scratch));
                             cache.insert(&req, Arc::clone(&fresh));
                             (fresh, false)
                         }
@@ -259,6 +260,7 @@ fn record_hit_counters(hits: u64, misses: u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::answer_on;
     use lbq_geom::{Point, Rect};
     use lbq_rtree::{Item, RTree, RTreeConfig};
 

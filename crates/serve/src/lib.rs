@@ -68,6 +68,7 @@ pub use engine::{Engine, EngineConfig, WorkerSummary};
 
 use lbq_core::{LbqServer, NnResponse, WindowResponse};
 use lbq_geom::Point;
+use lbq_rtree::QueryScratch;
 use std::sync::Arc;
 
 /// One location-based query request, as shipped by a mobile client.
@@ -185,13 +186,29 @@ pub struct QueryResp {
 }
 
 /// Evaluates `req` directly against `server`, bypassing pool and cache.
-/// The sequential baseline the stress tests compare the engine against,
-/// and the miss path of the engine itself.
+/// The sequential baseline the stress tests compare the engine against.
+/// Allocates a fresh [`QueryScratch`] per call; the engine's miss path
+/// uses [`answer_on_with`] with the worker's thread-owned scratch
+/// instead.
 pub fn answer_on(server: &LbqServer, req: &QueryReq) -> QueryAnswer {
+    let mut scratch = QueryScratch::new();
+    answer_on_with(server, req, &mut scratch)
+}
+
+/// [`answer_on`] against a reusable [`QueryScratch`]: the engine's miss
+/// path. Every query type — the kNN plus its whole TPNN influence-set
+/// chain, or both window passes — runs on the caller's buffers, so a
+/// worker thread reusing one scratch serves steady-state misses without
+/// allocating query state.
+pub fn answer_on_with(
+    server: &LbqServer,
+    req: &QueryReq,
+    scratch: &mut QueryScratch,
+) -> QueryAnswer {
     match *req {
-        QueryReq::Knn { q, k } => QueryAnswer::Knn(server.knn_with_validity(q, k)),
+        QueryReq::Knn { q, k } => QueryAnswer::Knn(server.knn_with_validity_in(q, k, scratch)),
         QueryReq::Window { c, hx, hy } => {
-            QueryAnswer::Window(server.window_with_validity(c, hx, hy))
+            QueryAnswer::Window(server.window_with_validity_in(c, hx, hy, scratch))
         }
     }
 }

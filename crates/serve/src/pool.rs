@@ -3,19 +3,23 @@
 //! `std`-only by workspace constraint: a `Mutex<VecDeque<Job>>` shared
 //! injector, a `Condvar` for sleeping workers, and an atomic shutdown
 //! latch. Each job receives the index of the worker that runs it (the
-//! engine uses it for per-worker accounting). Dropping the pool drains
-//! nothing: outstanding jobs are completed before workers exit, so a
-//! submitted batch is never abandoned.
+//! engine uses it for per-worker accounting) plus a mutable borrow of
+//! that worker's thread-owned [`QueryScratch`], so query buffers are
+//! allocated once per thread and reused across every job the worker
+//! ever runs. Dropping the pool drains nothing: outstanding jobs are
+//! completed before workers exit, so a submitted batch is never
+//! abandoned.
 //!
 //! The queue depth is mirrored to the global `serve-queue-depth` gauge
 //! on every push/pop, making backlog visible in metrics snapshots.
 
+use lbq_rtree::QueryScratch;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
-pub(crate) type Job = Box<dyn FnOnce(usize) + Send + 'static>;
+pub(crate) type Job = Box<dyn FnOnce(usize, &mut QueryScratch) + Send + 'static>;
 
 #[derive(Default)]
 struct Queue {
@@ -82,6 +86,10 @@ impl Pool {
 }
 
 fn worker_loop(shared: &Shared, worker: usize) {
+    // One scratch per worker thread, alive for the pool's lifetime:
+    // after the first few jobs warm its buffers, steady-state queries
+    // run allocation-free.
+    let mut scratch = QueryScratch::new();
     loop {
         let job = {
             let mut q = shared.lock();
@@ -98,7 +106,7 @@ fn worker_loop(shared: &Shared, worker: usize) {
             }
         };
         match job {
-            Some(job) => job(worker),
+            Some(job) => job(worker, &mut scratch),
             None => return,
         }
     }
@@ -139,7 +147,7 @@ mod tests {
             .map(|i| {
                 let sum = Arc::clone(&sum);
                 let done = Arc::clone(&done);
-                Box::new(move |_w: usize| {
+                Box::new(move |_w: usize, _s: &mut QueryScratch| {
                     sum.fetch_add(i, Ordering::Relaxed);
                     let (m, cv) = &*done;
                     *m.lock().unwrap() += 1;
@@ -164,7 +172,7 @@ mod tests {
             let jobs: Vec<Job> = (0..50)
                 .map(|_| {
                     let ran = Arc::clone(&ran);
-                    Box::new(move |_w: usize| {
+                    Box::new(move |_w: usize, _s: &mut QueryScratch| {
                         ran.fetch_add(1, Ordering::Relaxed);
                     }) as Job
                 })
