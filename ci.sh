@@ -50,6 +50,12 @@ cargo run --release -q -p lbq-bench --bin pr4_bench -- --quick >/dev/null
 echo "== pr4 bench artifact check"
 cargo run --release -q -p lbq-bench --bin pr4_bench -- --check BENCH_PR4.json
 
+echo "== pr5 bench smoke (tiled dispatch + packed-arena equivalence)"
+cargo run --release -q -p lbq-bench --bin pr5_bench -- --quick >/dev/null
+
+echo "== pr5 bench artifact check"
+cargo run --release -q -p lbq-bench --bin pr5_bench -- --check BENCH_PR5.json
+
 echo "== moving_client jsonl trace"
 trace="$(mktemp)"
 LBQ_TRACE=jsonl cargo run --release -q -p lbq-core --example moving_client 2>"$trace" >/dev/null

@@ -17,14 +17,16 @@
 //! Modes:
 //!
 //! * default (full): paper-scale dataset, asserts the validity-region
-//!   path is ≥ 1.5× faster and that steady-state `knn_in` / `tp_nn_in`
-//!   calls allocate nothing, writes `BENCH_PR4.json` in the CWD;
+//!   path is ≥ 1.5× faster and that steady-state `knn_in` /
+//!   `tp_nn_in` / `retrieve_influence_set_in` calls allocate nothing,
+//!   writes `BENCH_PR4.json` in the CWD;
 //! * `--quick`: ~10× smaller CI smoke — runs every entry and the
 //!   zero-allocation assertions, skips the speedup assertion (timing on
 //!   loaded CI boxes is noise), writes `target/BENCH_PR4.quick.json`;
 //! * `--check <file>`: parses an existing report and asserts it carries
 //!   all four entries with before/after numbers; no benchmarking.
 
+use lbq_bench::jsonv;
 use lbq_bench::legacy::LegacyTree;
 use lbq_core::LbqServer;
 use lbq_geom::{Point, Rect, Vec2};
@@ -146,6 +148,7 @@ struct Report {
     entries: Vec<Entry>,
     knn_in_steady_allocs: u64,
     tp_nn_in_steady_allocs: u64,
+    validity_region_in_steady_allocs: u64,
 }
 
 fn run(quick: bool) -> Report {
@@ -318,6 +321,35 @@ fn run(quick: bool) -> Report {
         let _ = black_box(live.tp_nn_in(foci[j], dirs[j], t_max, inners[j], &mut scratch));
     }
     let tp_nn_in_steady_allocs = lbq_obs::alloc_count() - a0;
+    // The full region retrieval (TPNN chain + pair list + polygon
+    // clipping) also runs entirely on the scratch.
+    for j in 0..queries.min(16) {
+        let _ = black_box(
+            lbq_core::retrieve_influence_set_in(
+                &live,
+                foci[j],
+                std::slice::from_ref(&inners[j]),
+                universe,
+                &mut scratch,
+            )
+            .1,
+        );
+    }
+    let a0 = lbq_obs::alloc_count();
+    for i in 0..100 {
+        let j = i % queries;
+        let _ = black_box(
+            lbq_core::retrieve_influence_set_in(
+                &live,
+                foci[j],
+                std::slice::from_ref(&inners[j]),
+                universe,
+                &mut scratch,
+            )
+            .1,
+        );
+    }
+    let validity_region_in_steady_allocs = lbq_obs::alloc_count() - a0;
     lbq_obs::publish_alloc_gauge();
 
     Report {
@@ -327,6 +359,7 @@ fn run(quick: bool) -> Report {
         entries,
         knn_in_steady_allocs,
         tp_nn_in_steady_allocs,
+        validity_region_in_steady_allocs,
     }
 }
 
@@ -354,149 +387,18 @@ fn render_json(r: &Report) -> String {
     }
     s.push_str("  ],\n");
     s.push_str(&format!(
-        "  \"steady_state\": {{\"knn_in_allocs\": {}, \"tp_nn_in_allocs\": {}}}\n",
-        r.knn_in_steady_allocs, r.tp_nn_in_steady_allocs
+        "  \"steady_state\": {{\"knn_in_allocs\": {}, \"tp_nn_in_allocs\": {}, \"validity_region_in_allocs\": {}}}\n",
+        r.knn_in_steady_allocs, r.tp_nn_in_steady_allocs, r.validity_region_in_steady_allocs
     ));
     s.push_str("}\n");
     s
-}
-
-/// Minimal JSON validation for `--check`: a recursive-descent skim that
-/// accepts exactly the JSON grammar (objects, arrays, strings with
-/// escapes, numbers, literals) — enough to reject truncated or
-/// hand-mangled reports without an external parser.
-mod json {
-    pub(crate) fn validate(s: &str) -> Result<(), String> {
-        let b = s.as_bytes();
-        let mut i = 0;
-        skip_ws(b, &mut i);
-        value(b, &mut i)?;
-        skip_ws(b, &mut i);
-        if i != b.len() {
-            return Err(format!("trailing bytes at offset {i}"));
-        }
-        Ok(())
-    }
-
-    fn skip_ws(b: &[u8], i: &mut usize) {
-        while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
-            *i += 1;
-        }
-    }
-
-    fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
-        match b.get(*i) {
-            Some(b'{') => object(b, i),
-            Some(b'[') => array(b, i),
-            Some(b'"') => string(b, i),
-            Some(b't') => literal(b, i, b"true"),
-            Some(b'f') => literal(b, i, b"false"),
-            Some(b'n') => literal(b, i, b"null"),
-            Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
-            other => Err(format!("unexpected {other:?} at offset {i}")),
-        }
-    }
-
-    fn object(b: &[u8], i: &mut usize) -> Result<(), String> {
-        *i += 1; // {
-        skip_ws(b, i);
-        if b.get(*i) == Some(&b'}') {
-            *i += 1;
-            return Ok(());
-        }
-        loop {
-            skip_ws(b, i);
-            string(b, i)?;
-            skip_ws(b, i);
-            if b.get(*i) != Some(&b':') {
-                return Err(format!("expected ':' at offset {i}"));
-            }
-            *i += 1;
-            skip_ws(b, i);
-            value(b, i)?;
-            skip_ws(b, i);
-            match b.get(*i) {
-                Some(b',') => *i += 1,
-                Some(b'}') => {
-                    *i += 1;
-                    return Ok(());
-                }
-                other => return Err(format!("expected ',' or '}}', got {other:?} at {i}")),
-            }
-        }
-    }
-
-    fn array(b: &[u8], i: &mut usize) -> Result<(), String> {
-        *i += 1; // [
-        skip_ws(b, i);
-        if b.get(*i) == Some(&b']') {
-            *i += 1;
-            return Ok(());
-        }
-        loop {
-            skip_ws(b, i);
-            value(b, i)?;
-            skip_ws(b, i);
-            match b.get(*i) {
-                Some(b',') => *i += 1,
-                Some(b']') => {
-                    *i += 1;
-                    return Ok(());
-                }
-                other => return Err(format!("expected ',' or ']', got {other:?} at {i}")),
-            }
-        }
-    }
-
-    fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
-        if b.get(*i) != Some(&b'"') {
-            return Err(format!("expected string at offset {i}"));
-        }
-        *i += 1;
-        while let Some(&c) = b.get(*i) {
-            match c {
-                b'"' => {
-                    *i += 1;
-                    return Ok(());
-                }
-                b'\\' => *i += 2,
-                _ => *i += 1,
-            }
-        }
-        Err("unterminated string".into())
-    }
-
-    fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
-        let start = *i;
-        if b.get(*i) == Some(&b'-') {
-            *i += 1;
-        }
-        while *i < b.len()
-            && (b[*i].is_ascii_digit() || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-'))
-        {
-            *i += 1;
-        }
-        if *i == start {
-            return Err(format!("empty number at offset {start}"));
-        }
-        Ok(())
-    }
-
-    fn literal(b: &[u8], i: &mut usize, lit: &[u8]) -> Result<(), String> {
-        if b.len() - *i >= lit.len() && &b[*i..*i + lit.len()] == lit {
-            *i += lit.len();
-            Ok(())
-        } else {
-            Err(format!("bad literal at offset {i}"))
-        }
-    }
 }
 
 /// `--check`: the report must be valid JSON and carry all four hot-path
 /// entries with before/after fields and the steady-state block.
 fn check(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    json::validate(&text)?;
+    jsonv::validate(&text)?;
     for name in ["knn", "tpnn", "validity_region", "serve_batch"] {
         let key = format!("\"name\": \"{name}\"");
         let Some(at) = text.find(&key) else {
@@ -515,7 +417,11 @@ fn check(path: &str) -> Result<(), String> {
             }
         }
     }
-    for field in ["knn_in_allocs", "tp_nn_in_allocs"] {
+    for field in [
+        "knn_in_allocs",
+        "tp_nn_in_allocs",
+        "validity_region_in_allocs",
+    ] {
         if !text.contains(field) {
             return Err(format!("missing steady-state field {field:?}"));
         }
@@ -547,8 +453,10 @@ fn main() {
         );
     }
     println!(
-        "steady-state allocs: knn_in={} tp_nn_in={}",
-        report.knn_in_steady_allocs, report.tp_nn_in_steady_allocs
+        "steady-state allocs: knn_in={} tp_nn_in={} validity_region_in={}",
+        report.knn_in_steady_allocs,
+        report.tp_nn_in_steady_allocs,
+        report.validity_region_in_steady_allocs
     );
 
     assert_eq!(
@@ -558,6 +466,10 @@ fn main() {
     assert_eq!(
         report.tp_nn_in_steady_allocs, 0,
         "tp_nn_in must be allocation-free after warm-up"
+    );
+    assert_eq!(
+        report.validity_region_in_steady_allocs, 0,
+        "retrieve_influence_set_in must be allocation-free after warm-up"
     );
     if !quick {
         let region = report
@@ -583,7 +495,7 @@ fn main() {
         }
     }
     let rendered = render_json(&report);
-    json::validate(&rendered).expect("harness emits valid JSON");
+    jsonv::validate(&rendered).expect("harness emits valid JSON");
     std::fs::write(&out, rendered).expect("writing bench report");
     println!("wrote {}", out.display());
 }

@@ -1,0 +1,548 @@
+//! Before/after harness for the locality pipeline (Hilbert-packed
+//! arena, tile-batched dispatch, shared-frontier group kNN), emitting
+//! machine-readable `BENCH_PR5.json`.
+//!
+//! Five entries, each a before/after ns/op pair:
+//!
+//! | entry | before | after |
+//! |---|---|---|
+//! | `knn` | `knn_in` on the build-order arena | same queries on the repacked arena |
+//! | `tpnn` | `tp_nn_in`, build-order arena | repacked arena |
+//! | `validity_region` | `retrieve_influence_set_in`, build-order arena | repacked arena |
+//! | `knn_group` | per-query `knn_in` over a 32-query tile (repacked) | one `knn_group_in` traversal |
+//! | `serve_batch` | untiled engine (1 query/job) on the build-order tree | tiled engine (32/job) on the repacked tree |
+//!
+//! The per-query entries run a Hilbert-sorted uniform stream — the order
+//! the tile-batched engine actually produces — so they measure the
+//! layout under its intended access pattern. `knn_group` and
+//! `serve_batch` run the ISSUE's motivating workload instead: hotspot
+//! batches (many clients around shared landmarks), the spatially
+//! correlated tiles the shared frontier exists for. Both `serve_batch`
+//! engines run with the cache disabled: the entry isolates dispatch +
+//! traversal cost, not hit rates.
+//!
+//! Equivalence is asserted on every run (both modes): the tiled engine's
+//! responses are byte-identical to the untiled engine's, the grouped
+//! traversal's results are bit-identical to per-query kNN, and the
+//! steady-state `retrieve_influence_set_in` path allocates nothing.
+//!
+//! Modes:
+//!
+//! * default (full): paper-scale dataset, asserts `serve_batch` is
+//!   ≥ 1.3× faster, writes `BENCH_PR5.json` in the CWD;
+//! * `--quick`: ~10× smaller CI smoke — every entry and every
+//!   equivalence assertion, no speedup gate (CI timing is noise),
+//!   writes `target/BENCH_PR5.quick.json`;
+//! * `--check <file>`: parses an existing report and asserts it carries
+//!   all five entries plus the steady-state block; no benchmarking.
+
+use lbq_bench::jsonv;
+use lbq_core::LbqServer;
+use lbq_geom::{Point, Rect, Vec2};
+use lbq_rtree::hilbert::hilbert_key;
+use lbq_rtree::{Item, QueryScratch, RTree, RTreeConfig};
+use lbq_serve::{CacheConfig, Engine, EngineConfig, QueryReq};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A pass-through allocator that counts every allocation into the
+/// `lbq_obs` bare-atomic hook (same harness as `pr4_bench`).
+struct CountingAlloc;
+
+// The workspace denies `unsafe_code`; a `#[global_allocator]` is the
+// one place it cannot be avoided — the trait itself is unsafe. Scope
+// the allowance to exactly this impl.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        lbq_obs::note_alloc();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        lbq_obs::note_alloc();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// One before/after measurement.
+struct Entry {
+    name: &'static str,
+    before_ns: f64,
+    after_ns: f64,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        // lbq-check: allow(local-epsilon) — divide-by-zero floor, not a tolerance
+        self.before_ns / self.after_ns.max(1e-9)
+    }
+}
+
+/// Times a before/after pair over `iters` iterations each: interleaved
+/// batches, five rounds, fastest batch per side (see `pr4_bench` for
+/// the noise-robustness rationale).
+fn measure_pair<A, B>(
+    iters: usize,
+    mut before: impl FnMut(usize) -> A,
+    mut after: impl FnMut(usize) -> B,
+) -> (f64, f64) {
+    for i in 0..iters.min(16) {
+        black_box(before(i));
+        black_box(after(i));
+    }
+    let mut before_ns = f64::INFINITY;
+    let mut after_ns = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for i in 0..iters {
+            black_box(before(i));
+        }
+        before_ns = before_ns.min(t.elapsed().as_secs_f64() * 1e9);
+        let t = Instant::now();
+        for i in 0..iters {
+            black_box(after(i));
+        }
+        after_ns = after_ns.min(t.elapsed().as_secs_f64() * 1e9);
+    }
+    (before_ns / iters as f64, after_ns / iters as f64)
+}
+
+fn random_items(n: usize, seed: u64) -> Vec<Item> {
+    let mut rng = lbq_rng::Xoshiro256ss::seed_from_u64(seed);
+    (0..n)
+        .map(|i| Item::new(Point::new(rng.gen_f64(), rng.gen_f64()), i as u64))
+        .collect()
+}
+
+fn random_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = lbq_rng::Xoshiro256ss::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(0.05 + 0.9 * rng.gen_f64(), 0.05 + 0.9 * rng.gen_f64()))
+        .collect()
+}
+
+/// The motivating serve workload: `clusters` hotspots (landmarks, road
+/// junctions) with `per` clients each, every focus within `radius` of
+/// its hotspot. Returned hotspot-by-hotspot, which is the order a
+/// Hilbert sort recovers anyway for well-separated hotspots.
+fn hotspot_points(clusters: usize, per: usize, radius: f64, seed: u64) -> Vec<Point> {
+    let mut rng = lbq_rng::Xoshiro256ss::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(clusters * per);
+    for _ in 0..clusters {
+        let c = Point::new(0.1 + 0.8 * rng.gen_f64(), 0.1 + 0.8 * rng.gen_f64());
+        for _ in 0..per {
+            out.push(Point::new(
+                c.x + radius * (2.0 * rng.gen_f64() - 1.0),
+                c.y + radius * (2.0 * rng.gen_f64() - 1.0),
+            ));
+        }
+    }
+    out
+}
+
+struct Report {
+    mode: &'static str,
+    n: usize,
+    queries: usize,
+    tile: usize,
+    entries: Vec<Entry>,
+    validity_region_in_steady_allocs: u64,
+}
+
+const TILE: usize = 32;
+
+fn run(quick: bool) -> Report {
+    let (n, queries, batch) = if quick {
+        (10_000, 512, 128)
+    } else {
+        (400_000, 4096, 1024)
+    };
+    let universe = Rect::new(0.0, 0.0, 1.0, 1.0);
+    let config = RTreeConfig::paper();
+    let items = random_items(n, 0xC0FFEE);
+    println!(
+        "pr5_bench: n={n}, queries={queries}, batch={batch}, tile={TILE}, fanout={}",
+        config.max_entries
+    );
+
+    // Before: the STR bulk-load arena in build order. After: the same
+    // tree rewritten into the Hilbert-packed layout.
+    let orig = RTree::bulk_load(items.clone(), config);
+    let packed = orig.repack();
+    assert!(packed.is_packed(), "repack must produce a packed arena");
+    assert_eq!(packed.node_count(), orig.node_count());
+
+    // Hilbert-sorted query stream — what the tile-batched engine feeds
+    // each worker.
+    let mut foci = random_points(queries, 7);
+    foci.sort_by_key(|&p| hilbert_key(p, &universe));
+    let dirs: Vec<Vec2> = {
+        let mut rng = lbq_rng::Xoshiro256ss::seed_from_u64(11);
+        (0..queries)
+            .map(|_| {
+                let a = rng.gen_f64() * std::f64::consts::TAU;
+                Vec2::new(a.cos(), a.sin())
+            })
+            .collect()
+    };
+    let mut scratch = QueryScratch::new();
+    let mut scratch_b = QueryScratch::new();
+    let inners: Vec<Item> = foci
+        .iter()
+        .map(|&q| orig.knn_in(q, 1, &mut scratch)[0].0)
+        .collect();
+
+    // Tight tiles: `queries` foci around `queries / TILE` hotspots, one
+    // hotspot per tile — the spatially correlated batches the tiling
+    // targets. The uniform `foci` above double as the spread case.
+    let k = 10;
+    let cl_foci = hotspot_points(queries / TILE, TILE, 0.002, 17);
+
+    // -- equivalence: grouped traversal vs per-query kNN ---------------
+    // Both regimes: tight tiles take the shared frontier, uniform tiles
+    // the per-query fallback; both must match `knn_in` bit for bit.
+    for (t, tile) in cl_foci
+        .chunks(TILE)
+        .take(8)
+        .chain(foci.chunks(TILE).take(8))
+        .enumerate()
+    {
+        let grouped: Vec<(u64, u64)> = packed
+            .knn_group(tile, k)
+            .iter()
+            .map(|&(it, d)| (it.id, d.to_bits()))
+            .collect();
+        let mut single: Vec<(u64, u64)> = Vec::new();
+        for &q in tile {
+            single.extend(
+                packed
+                    .knn_in(q, k, &mut scratch)
+                    .iter()
+                    .map(|&(it, d)| (it.id, d.to_bits())),
+            );
+        }
+        assert_eq!(grouped, single, "tile {t}: group kNN must be bit-identical");
+    }
+
+    let mut entries = Vec::new();
+
+    // -- knn -----------------------------------------------------------
+    let (before_ns, after_ns) = measure_pair(
+        queries,
+        |i| orig.knn_in(foci[i % queries], k, &mut scratch).len(),
+        |i| packed.knn_in(foci[i % queries], k, &mut scratch_b).len(),
+    );
+    entries.push(Entry {
+        name: "knn",
+        before_ns,
+        after_ns,
+    });
+
+    // -- tpnn ----------------------------------------------------------
+    let t_max = 0.25;
+    let (before_ns, after_ns) = measure_pair(
+        queries,
+        |i| {
+            let j = i % queries;
+            orig.tp_nn_in(foci[j], dirs[j], t_max, inners[j], &mut scratch)
+                .map(|e| e.object.id)
+        },
+        |i| {
+            let j = i % queries;
+            packed
+                .tp_nn_in(foci[j], dirs[j], t_max, inners[j], &mut scratch_b)
+                .map(|e| e.object.id)
+        },
+    );
+    entries.push(Entry {
+        name: "tpnn",
+        before_ns,
+        after_ns,
+    });
+
+    // -- validity_region ------------------------------------------------
+    let region_iters = queries.min(256);
+    let (before_ns, after_ns) = measure_pair(
+        region_iters,
+        |i| {
+            let j = i % queries;
+            lbq_core::retrieve_influence_set_in(
+                &orig,
+                foci[j],
+                std::slice::from_ref(&inners[j]),
+                universe,
+                &mut scratch,
+            )
+            .1
+        },
+        |i| {
+            let j = i % queries;
+            lbq_core::retrieve_influence_set_in(
+                &packed,
+                foci[j],
+                std::slice::from_ref(&inners[j]),
+                universe,
+                &mut scratch_b,
+            )
+            .1
+        },
+    );
+    entries.push(Entry {
+        name: "validity_region",
+        before_ns,
+        after_ns,
+    });
+
+    // -- knn_group ------------------------------------------------------
+    // Both sides on the packed tree: the entry isolates the shared
+    // frontier, not the layout. One iteration = one 32-query hotspot
+    // tile (spread tiles fall back to per-query descent and tie).
+    let tiles: Vec<&[Point]> = cl_foci.chunks(TILE).collect();
+    let (before_ns, after_ns) = measure_pair(
+        tiles.len(),
+        |i| {
+            let tile = tiles[i % tiles.len()];
+            let mut total = 0usize;
+            for &q in tile {
+                total += packed.knn_in(q, k, &mut scratch).len();
+            }
+            total
+        },
+        |i| {
+            let tile = tiles[i % tiles.len()];
+            packed.knn_group_in(tile, k, &mut scratch_b).len()
+        },
+    );
+    entries.push(Entry {
+        name: "knn_group",
+        before_ns,
+        after_ns,
+    });
+
+    // -- steady-state zero-allocation proof -----------------------------
+    for j in 0..queries.min(16) {
+        let _ = black_box(
+            lbq_core::retrieve_influence_set_in(
+                &packed,
+                foci[j],
+                std::slice::from_ref(&inners[j]),
+                universe,
+                &mut scratch,
+            )
+            .1,
+        );
+    }
+    let a0 = lbq_obs::alloc_count();
+    for i in 0..100 {
+        let j = i % queries;
+        let _ = black_box(
+            lbq_core::retrieve_influence_set_in(
+                &packed,
+                foci[j],
+                std::slice::from_ref(&inners[j]),
+                universe,
+                &mut scratch,
+            )
+            .1,
+        );
+    }
+    let validity_region_in_steady_allocs = lbq_obs::alloc_count() - a0;
+
+    // -- serve_batch ----------------------------------------------------
+    // Whole-engine round trip: submit() a batch and wait for it. Before:
+    // one job per query on the build-order tree. After: Hilbert tiles of
+    // TILE queries (shared-frontier kNN inside) on the repacked tree.
+    let workers = std::thread::available_parallelism().map_or(2, |w| w.get().min(8));
+    let eng_before = Engine::new(
+        Arc::new(LbqServer::new(
+            RTree::bulk_load(items.clone(), config),
+            universe,
+        )),
+        EngineConfig {
+            workers,
+            cache: CacheConfig::disabled(),
+            tile_size: 1,
+        },
+    );
+    let eng_after = Engine::new(
+        Arc::new(LbqServer::new(
+            RTree::bulk_load_packed(items.clone(), config),
+            universe,
+        )),
+        EngineConfig {
+            workers,
+            cache: CacheConfig::disabled(),
+            tile_size: TILE,
+        },
+    );
+    let reqs: Vec<QueryReq> = hotspot_points(batch / TILE, TILE, 0.002, 13)
+        .into_iter()
+        .map(|p| QueryReq::knn(p, k))
+        .collect();
+
+    // Equivalence: the tiled+repacked engine answers byte-for-byte what
+    // the untiled engine answers, in the same output order.
+    let base = eng_before.submit(reqs.clone());
+    let tiled = eng_after.submit(reqs.clone());
+    assert_eq!(base.len(), tiled.len());
+    for (i, (b, t)) in base.iter().zip(&tiled).enumerate() {
+        assert_eq!(
+            format!("{:?}", b.answer),
+            format!("{:?}", t.answer),
+            "request {i}: tiled response diverged from untiled"
+        );
+    }
+
+    let batch_iters = 8;
+    let (before_ns, after_ns) = measure_pair(
+        batch_iters,
+        |_| eng_before.submit(reqs.clone()).len(),
+        |_| eng_after.submit(reqs.clone()).len(),
+    );
+    entries.push(Entry {
+        name: "serve_batch",
+        before_ns,
+        after_ns,
+    });
+
+    Report {
+        mode: if quick { "quick" } else { "full" },
+        n,
+        queries,
+        tile: TILE,
+        entries,
+        validity_region_in_steady_allocs,
+    }
+}
+
+fn render_json(r: &Report) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"pr5-locality-pipeline\",\n");
+    s.push_str(&format!("  \"mode\": \"{}\",\n", r.mode));
+    s.push_str(&format!(
+        "  \"dataset\": {{\"n\": {}, \"queries\": {}, \"tile\": {}}},\n",
+        r.n, r.queries, r.tile
+    ));
+    s.push_str("  \"entries\": [\n");
+    for (i, e) in r.entries.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"before_ns\": {:.1}, \"after_ns\": {:.1}, \"speedup\": {:.3}}}{}\n",
+            e.name,
+            e.before_ns,
+            e.after_ns,
+            e.speedup(),
+            if i + 1 < r.entries.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"steady_state\": {{\"validity_region_in_allocs\": {}}},\n",
+        r.validity_region_in_steady_allocs
+    ));
+    s.push_str(
+        "  \"equivalence\": {\"tiled_vs_untiled\": \"byte-identical\", \
+         \"group_vs_single\": \"bit-identical\"}\n",
+    );
+    s.push_str("}\n");
+    s
+}
+
+/// `--check`: the report must be valid JSON and carry all five entries
+/// with before/after fields plus the steady-state block.
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    jsonv::validate(&text)?;
+    for name in ["knn", "tpnn", "validity_region", "knn_group", "serve_batch"] {
+        let key = format!("\"name\": \"{name}\"");
+        let Some(at) = text.find(&key) else {
+            return Err(format!("missing entry {name:?}"));
+        };
+        let rest = &text[at..text[at..].find('}').map_or(text.len(), |e| at + e)];
+        for field in ["before_ns", "after_ns", "speedup"] {
+            if !rest.contains(field) {
+                return Err(format!("entry {name:?} missing field {field:?}"));
+            }
+        }
+    }
+    for field in ["validity_region_in_allocs", "tiled_vs_untiled"] {
+        if !text.contains(field) {
+            return Err(format!("missing report field {field:?}"));
+        }
+    }
+    println!("pr5_bench --check {path}: ok (5 entries, steady-state block)");
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--check") {
+        let path = args
+            .get(pos + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_PR5.json");
+        if let Err(e) = check(path) {
+            eprintln!("pr5_bench --check failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let report = run(quick);
+
+    for e in &report.entries {
+        println!(
+            "{:<18} before {:>10.0} ns/op   after {:>10.0} ns/op   {:>5.2}x",
+            e.name,
+            e.before_ns,
+            e.after_ns,
+            e.speedup()
+        );
+    }
+    println!(
+        "steady-state allocs: validity_region_in={}",
+        report.validity_region_in_steady_allocs
+    );
+
+    assert_eq!(
+        report.validity_region_in_steady_allocs, 0,
+        "retrieve_influence_set_in must be allocation-free after warm-up"
+    );
+    if !quick {
+        let serve = report
+            .entries
+            .iter()
+            .find(|e| e.name == "serve_batch")
+            .expect("serve entry present");
+        assert!(
+            serve.speedup() >= 1.3,
+            "tiled+repacked serve_batch must be >= 1.3x faster, got {:.2}x",
+            serve.speedup()
+        );
+    }
+
+    let out = if quick {
+        std::path::PathBuf::from("target/BENCH_PR5.quick.json")
+    } else {
+        std::path::PathBuf::from("BENCH_PR5.json")
+    };
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    let rendered = render_json(&report);
+    jsonv::validate(&rendered).expect("harness emits valid JSON");
+    std::fs::write(&out, rendered).expect("writing bench report");
+    println!("wrote {}", out.display());
+}

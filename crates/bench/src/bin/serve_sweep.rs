@@ -110,6 +110,7 @@ fn main() {
                 EngineConfig {
                     workers: threads,
                     cache: CacheConfig::disabled(),
+                    ..EngineConfig::default()
                 },
             );
             let s = run(&engine, &reqs, batch);

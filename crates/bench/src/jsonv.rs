@@ -1,0 +1,164 @@
+//! Minimal JSON validation for benchmark reports: a recursive-descent
+//! skim that accepts exactly the JSON grammar (objects, arrays, strings
+//! with escapes, numbers, literals) — enough for the `--check` modes of
+//! the `pr4_bench` / `pr5_bench` binaries to reject truncated or
+//! hand-mangled reports without an external parser.
+
+/// Validates that `s` is one complete JSON value with no trailing
+/// bytes. Returns the offset and nature of the first violation.
+pub fn validate(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut i = 0;
+    skip_ws(b, &mut i);
+    value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing bytes at offset {i}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+    match b.get(*i) {
+        Some(b'{') => object(b, i),
+        Some(b'[') => array(b, i),
+        Some(b'"') => string(b, i),
+        Some(b't') => literal(b, i, b"true"),
+        Some(b'f') => literal(b, i, b"false"),
+        Some(b'n') => literal(b, i, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+        other => Err(format!("unexpected {other:?} at offset {i}")),
+    }
+}
+
+fn object(b: &[u8], i: &mut usize) -> Result<(), String> {
+    *i += 1; // {
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        string(b, i)?;
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b':') {
+            return Err(format!("expected ':' at offset {i}"));
+        }
+        *i += 1;
+        skip_ws(b, i);
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return Ok(());
+            }
+            other => return Err(format!("expected ',' or '}}', got {other:?} at {i}")),
+        }
+    }
+}
+
+fn array(b: &[u8], i: &mut usize) -> Result<(), String> {
+    *i += 1; // [
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return Ok(());
+            }
+            other => return Err(format!("expected ',' or ']', got {other:?} at {i}")),
+        }
+    }
+}
+
+fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+    if b.get(*i) != Some(&b'"') {
+        return Err(format!("expected string at offset {i}"));
+    }
+    *i += 1;
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            b'\\' => *i += 2,
+            _ => *i += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+    let start = *i;
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    while *i < b.len()
+        && (b[*i].is_ascii_digit() || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *i += 1;
+    }
+    if *i == start {
+        return Err(format!("empty number at offset {start}"));
+    }
+    Ok(())
+}
+
+fn literal(b: &[u8], i: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b.len() - *i >= lit.len() && &b[*i..*i + lit.len()] == lit {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at offset {i}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::validate;
+
+    #[test]
+    fn accepts_report_shaped_json() {
+        let ok = r#"{
+  "bench": "x",
+  "entries": [{"name": "knn", "speedup": 1.25e0, "n": -3}],
+  "flags": [true, false, null],
+  "empty": {}, "none": []
+}"#;
+        validate(ok).unwrap();
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        for bad in [
+            "{",
+            "{\"a\": }",
+            "{\"a\": 1,}",
+            "[1 2]",
+            "\"unterminated",
+            "{\"a\": 1} trailing",
+            "tru",
+            "",
+        ] {
+            assert!(validate(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -338,7 +338,19 @@ impl LegacyTree {
             polygon.vertices().iter().map(|&v| (v, false)).collect();
         let mut tpnn_count = 0usize;
 
-        while let Some(idx) = vertices.iter().position(|(_, confirmed)| !confirmed) {
+        // Same nearest-vertex-first probe order as the live pipeline, so
+        // the before/after comparison is layouts, not algorithms.
+        while let Some(idx) = vertices
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, confirmed))| !confirmed)
+            .min_by(|(_, (a, _)), (_, (b, _))| {
+                q.dist_sq(*a)
+                    .partial_cmp(&q.dist_sq(*b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+        {
             let v = vertices[idx].0;
             let Some(dir) = q.to(v).normalized() else {
                 vertices[idx].1 = true;

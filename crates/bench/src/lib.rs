@@ -19,6 +19,7 @@
 
 pub mod figures;
 pub mod harness;
+pub mod jsonv;
 pub mod legacy;
 pub mod microbench;
 

@@ -151,11 +151,14 @@ impl WindowValidity {
 }
 
 /// Debug-build trap for [`NnValidity::validate`]; compiled out in
-/// release builds. Called at the end of the vertex-confirmation loop.
+/// release builds. Called at the end of the vertex-confirmation loop
+/// on the scratch-backed view — the owned copy the validator needs is
+/// built only in debug builds, keeping the release hot path
+/// allocation-free.
 #[inline]
-pub(crate) fn debug_validate_nn(validity: &NnValidity, q: Point) {
+pub(crate) fn debug_validate_nn(validity: &crate::nn::NnValidityRef<'_>, q: Point) {
     #[cfg(debug_assertions)]
-    if let Err(e) = validity.validate(q) {
+    if let Err(e) = validity.to_owned().validate(q) {
         // lbq-check: allow(no-unwrap-core) — debug-only invariant trap
         panic!("NN validity invariant violated: {e}");
     }

@@ -18,7 +18,7 @@
 //! the test suite.
 
 use lbq_geom::{ConvexPolygon, HalfPlane, Point, Rect};
-use lbq_rtree::{Item, QueryScratch, RTree};
+use lbq_rtree::{Item, QueryScratch, RTree, TpEvent, TpProbe};
 
 /// An influence pair `⟨inner, outer⟩`: the bisector of the two is an
 /// edge (or potential edge) of the validity region; `inner` belongs to
@@ -101,6 +101,89 @@ impl NnValidity {
     }
 }
 
+/// A borrowed view of a validity region whose backing storage lives in
+/// a [`QueryScratch`].
+///
+/// This is what [`retrieve_influence_set_in`] returns: the influence
+/// pairs and the region polygon are read straight out of the scratch
+/// buffers the retrieval built them in, so the steady-state hot path
+/// performs **zero** heap allocations. The view stays valid until the
+/// next query touches the same scratch; call
+/// [`NnValidityRef::to_owned`] to detach an [`NnValidity`] that can
+/// outlive it (that copy is the only allocation, paid exactly by the
+/// paths that need ownership).
+#[derive(Debug, Clone, Copy)]
+pub struct NnValidityRef<'s> {
+    pairs: &'s [(Item, Item)],
+    polygon: &'s ConvexPolygon,
+    universe: Rect,
+}
+
+impl<'s> NnValidityRef<'s> {
+    /// Influence pairs in discovery order.
+    pub fn pairs(&self) -> impl Iterator<Item = InfluencePair> + 's {
+        self.pairs
+            .iter()
+            .map(|&(inner, outer)| InfluencePair { inner, outer })
+    }
+
+    /// Number of influence pairs.
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// The region polygon (clipped to the data universe).
+    pub fn polygon(&self) -> &'s ConvexPolygon {
+        self.polygon
+    }
+
+    /// The data universe used as the initial region.
+    pub fn universe(&self) -> Rect {
+        self.universe
+    }
+
+    /// Client-side validity check — see [`NnValidity::contains`].
+    pub fn contains(&self, p: Point) -> bool {
+        self.universe.contains(p)
+            && self
+                .pairs
+                .iter()
+                .all(|&(inner, outer)| p.dist_sq(inner.point) <= p.dist_sq(outer.point))
+    }
+
+    /// Area of the validity region.
+    pub fn area(&self) -> f64 {
+        self.polygon.area()
+    }
+
+    /// Number of region edges.
+    pub fn edge_count(&self) -> usize {
+        self.polygon.len()
+    }
+
+    /// Number of *distinct* influence objects |S_inf|. Quadratic scan
+    /// over the (≈6-element) pair list so the view allocates nothing.
+    pub fn influence_count(&self) -> usize {
+        self.pairs
+            .iter()
+            .enumerate()
+            .filter(|&(i, &(_, outer))| {
+                !self.pairs[..i].iter().any(|&(_, prev)| prev.id == outer.id)
+            })
+            .count()
+    }
+
+    /// Detaches an owned [`NnValidity`] (copies pairs and polygon off
+    /// the scratch).
+    pub fn to_owned(&self) -> NnValidity {
+        NnValidity {
+            pairs: self.pairs().collect(),
+            polygon: self.polygon.clone(),
+            universe: self.universe,
+        }
+    }
+}
+
 /// Server response to a location-based kNN query.
 #[derive(Debug, Clone)]
 pub struct NnResponse {
@@ -120,6 +203,22 @@ fn vertex_eps(universe: &Rect) -> f64 {
     lbq_geom::EPS * universe.width().max(universe.height()).max(1.0)
 }
 
+/// Index of the unconfirmed vertex nearest to `q`, or `None` when all
+/// are confirmed. The single-query loop and the grouped lockstep driver
+/// share this selector, so both probe in the identical order.
+fn nearest_unconfirmed(q: Point, vertices: &[(Point, bool)]) -> Option<usize> {
+    vertices
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, confirmed))| !confirmed)
+        .min_by(|(_, (a, _)), (_, (b, _))| {
+            q.dist_sq(*a)
+                .partial_cmp(&q.dist_sq(*b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i)
+}
+
 /// Computes the influence set and validity region for a kNN result
 /// (`inner`, non-empty) of the query at `q` — Figs. 10/12 of the paper.
 ///
@@ -132,38 +231,45 @@ pub fn retrieve_influence_set(
     universe: Rect,
 ) -> (NnValidity, usize) {
     let mut scratch = QueryScratch::new();
-    retrieve_influence_set_in(tree, q, inner, universe, &mut scratch)
+    let (validity, tpnn) = retrieve_influence_set_in(tree, q, inner, universe, &mut scratch);
+    (validity.to_owned(), tpnn)
 }
 
 /// [`retrieve_influence_set`] against a reusable [`QueryScratch`]: the
-/// whole shrinking-polygon TPNN chain (one query per vertex probe) runs
-/// on one set of buffers, so the region hot path allocates only for the
-/// polygon clipping itself.
-pub fn retrieve_influence_set_in(
+/// whole shrinking-polygon TPNN chain (one query per vertex probe), the
+/// influence-pair list *and* the region polygon all live on one set of
+/// scratch buffers, so in steady state the region hot path performs
+/// zero heap allocations. The returned [`NnValidityRef`] borrows the
+/// scratch; `.to_owned()` it if the region must outlive the next query.
+pub fn retrieve_influence_set_in<'s>(
     tree: &RTree,
     q: Point,
     inner: &[Item],
     universe: Rect,
-    scratch: &mut QueryScratch,
-) -> (NnValidity, usize) {
+    scratch: &'s mut QueryScratch,
+) -> (NnValidityRef<'s>, usize) {
     assert!(!inner.is_empty(), "kNN result must be non-empty");
     let mut span = lbq_obs::span("nn-influence-set");
     span.record("k", inner.len());
     // When the dataset is exactly the result set, nothing can ever
     // change: the region is the whole universe.
     if tree.len() <= inner.len() {
+        scratch.region_pairs.clear();
+        scratch.region_polygon.assign_rect(&universe);
         return (
-            NnValidity {
-                pairs: Vec::new(),
-                polygon: ConvexPolygon::from_rect(&universe),
+            NnValidityRef {
+                pairs: &scratch.region_pairs,
+                polygon: &scratch.region_polygon,
                 universe,
             },
             0,
         );
     }
     let eps = vertex_eps(&universe);
-    let mut pairs: Vec<InfluencePair> = Vec::new();
-    let mut polygon = ConvexPolygon::from_rect(&universe);
+    let mut pairs = std::mem::take(&mut scratch.region_pairs);
+    let mut polygon = std::mem::take(&mut scratch.region_polygon);
+    pairs.clear();
+    polygon.assign_rect(&universe);
     // Vertex set V with confirmation flags, and the clip staging buffer
     // — all borrowed from the scratch (and returned below) so the loop
     // allocates nothing in steady state. Taking them out lets the TPNN
@@ -175,7 +281,14 @@ pub fn retrieve_influence_set_in(
     vertices.extend(polygon.vertices().iter().map(|&v| (v, false)));
     let mut tpnn_count = 0usize;
 
-    while let Some(idx) = vertices.iter().position(|(_, confirmed)| !confirmed) {
+    // Probe the *nearest* unconfirmed vertex first. Each discovered
+    // pair clips the polygon, so near probes (cheap, short TPNN travel)
+    // tend to cut away the far vertices before they are ever probed
+    // with a universe-scale `t_max`. The confirmation loop is correct
+    // under any probe order (each query still ends in a new pair or a
+    // confirmed vertex, so Lemma 3.2's count is unchanged); this order
+    // just makes the expensive probes vanishingly rare.
+    while let Some(idx) = nearest_unconfirmed(q, &vertices) {
         let v = vertices[idx].0;
         let Some(dir) = q.to(v).normalized() else {
             // The vertex coincides with the query point (degenerate,
@@ -203,7 +316,7 @@ pub fn retrieve_influence_set_in(
             Some(ev) => {
                 let known = pairs
                     .iter()
-                    .any(|p| p.inner.id == ev.partner.id && p.outer.id == ev.object.id);
+                    .any(|&(pi, po)| pi.id == ev.partner.id && po.id == ev.object.id);
                 if known {
                     // Lemma 3.1 bookkeeping: a re-discovered pair means
                     // the vertex lies (numerically) on that bisector.
@@ -214,7 +327,7 @@ pub fn retrieve_influence_set_in(
                         outer: ev.object,
                     };
                     polygon.clip_in_place(&pair.half_plane(), &mut clip_buf);
-                    pairs.push(pair);
+                    pairs.push((pair.inner, pair.outer));
                     if polygon.is_empty() {
                         // Degenerate: q sits on a bisector (tie). The
                         // region has zero area; report it honestly.
@@ -233,27 +346,184 @@ pub fn retrieve_influence_set_in(
             }
         }
     }
-    // Hand the (capacity-retaining) buffers back to the scratch.
+    // Hand the (capacity-retaining) buffers back to the scratch. The
+    // pair list and polygon go back too — the returned view borrows
+    // them in place.
     vertices.clear();
     spare.clear();
     clip_buf.clear();
     scratch.region_vertices = vertices;
     scratch.region_spare = spare;
     scratch.region_clip = clip_buf;
-    let validity = NnValidity {
-        pairs,
-        polygon,
+    scratch.region_pairs = pairs;
+    scratch.region_polygon = polygon;
+    let validity = NnValidityRef {
+        pairs: &scratch.region_pairs,
+        polygon: &scratch.region_polygon,
         universe,
     };
     crate::invariants::debug_validate_nn(&validity, q);
     if span.is_active() {
         span.record("tpnn-queries", tpnn_count);
-        span.record("pairs", validity.pairs.len());
+        span.record("pairs", validity.pair_count());
         span.record("influence", validity.influence_count());
         span.record("edges", validity.edge_count());
         span.record("area", validity.area());
     }
     (validity, tpnn_count)
+}
+
+/// Per-member loop state of [`retrieve_influence_set_group`].
+struct MemberLoop {
+    pairs: Vec<(Item, Item)>,
+    polygon: ConvexPolygon,
+    vertices: Vec<(Point, bool)>,
+    tpnn: usize,
+    done: bool,
+}
+
+/// Grouped [`retrieve_influence_set`]: computes the influence set and
+/// validity region of every member `(q, result)` of one locality tile,
+/// batching the members' TPNN probes into shared-frontier traversals
+/// ([`lbq_rtree::RTree::tp_knn_group_in`]).
+///
+/// Every member's vertex-confirmation loop runs exactly as in
+/// [`retrieve_influence_set_in`] — same vertex selection (shared
+/// `nearest_unconfirmed`), same clips, same Lemma 3.2 query count — but
+/// the loops advance in lockstep: each round collects every unfinished
+/// member's next vertex probe and answers the whole round in one shared
+/// traversal. The grouped TPNN returns bit-identical events, and no
+/// member's state feeds another's, so each member's pairs, polygon, and
+/// TPNN count equal the single-query path's bit for bit. On a Hilbert
+/// tile the ~`n_inf + n_v` probes of all members search the same
+/// neighborhood, so the shared frontier reads each node page once per
+/// round instead of once per member.
+///
+/// Returns one `(validity, tpnn_queries)` per member, in member order.
+pub fn retrieve_influence_set_group(
+    tree: &RTree,
+    members: &[(Point, &[Item])],
+    universe: Rect,
+    scratch: &mut QueryScratch,
+) -> Vec<(NnValidity, usize)> {
+    let mut span = lbq_obs::span("nn-influence-set-group");
+    span.record("members", members.len());
+    let eps = vertex_eps(&universe);
+    let mut states: Vec<MemberLoop> = members
+        .iter()
+        .map(|&(_, inner)| {
+            assert!(!inner.is_empty(), "kNN result must be non-empty");
+            let polygon = ConvexPolygon::from_rect(&universe);
+            // Whole dataset in the result: nothing can ever change.
+            let done = tree.len() <= inner.len();
+            let vertices = if done {
+                Vec::new()
+            } else {
+                polygon.vertices().iter().map(|&v| (v, false)).collect()
+            };
+            MemberLoop {
+                pairs: Vec::new(),
+                polygon,
+                vertices,
+                tpnn: 0,
+                done,
+            }
+        })
+        .collect();
+    let mut spare: Vec<(Point, bool)> = Vec::new();
+    let mut clip_buf: Vec<Point> = Vec::new();
+    let mut probes: Vec<TpProbe<'_>> = Vec::new();
+    let mut slots: Vec<(usize, usize)> = Vec::new();
+    let mut events: Vec<Option<TpEvent>> = Vec::new();
+    loop {
+        probes.clear();
+        slots.clear();
+        for (mi, st) in states.iter_mut().enumerate() {
+            if st.done {
+                continue;
+            }
+            let (q, inner) = members[mi];
+            loop {
+                let Some(idx) = nearest_unconfirmed(q, &st.vertices) else {
+                    st.done = true;
+                    break;
+                };
+                let v = st.vertices[idx].0;
+                if let Some(dir) = q.to(v).normalized() {
+                    st.tpnn += 1;
+                    probes.push(TpProbe {
+                        q,
+                        dir,
+                        t_max: q.dist(v),
+                        inner,
+                    });
+                    slots.push((mi, idx));
+                    break;
+                }
+                // The vertex coincides with the query point (degenerate,
+                // zero-area region) — confirm and pick the next one, as
+                // the single-query loop does.
+                st.vertices[idx].1 = true;
+            }
+        }
+        if probes.is_empty() {
+            break;
+        }
+        tree.tp_knn_group_in(&probes, scratch, &mut events);
+        for (&(mi, idx), event) in slots.iter().zip(&events) {
+            let st = &mut states[mi];
+            match *event {
+                None => {
+                    st.vertices[idx].1 = true;
+                }
+                Some(ev) => {
+                    let known = st
+                        .pairs
+                        .iter()
+                        .any(|&(pi, po)| pi.id == ev.partner.id && po.id == ev.object.id);
+                    if known {
+                        st.vertices[idx].1 = true;
+                    } else {
+                        let pair = InfluencePair {
+                            inner: ev.partner,
+                            outer: ev.object,
+                        };
+                        st.polygon.clip_in_place(&pair.half_plane(), &mut clip_buf);
+                        st.pairs.push((pair.inner, pair.outer));
+                        if st.polygon.is_empty() {
+                            // Degenerate: q sits on a bisector (tie).
+                            st.vertices.clear();
+                            st.done = true;
+                        } else {
+                            spare.clear();
+                            spare.extend(st.polygon.vertices().iter().map(|&nv| {
+                                let confirmed =
+                                    st.vertices.iter().any(|(ov, c)| *c && ov.dist(nv) <= eps);
+                                (nv, confirmed)
+                            }));
+                            std::mem::swap(&mut st.vertices, &mut spare);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if span.is_active() {
+        span.record("tpnn-queries", states.iter().map(|s| s.tpnn).sum::<usize>());
+    }
+    states
+        .into_iter()
+        .zip(members)
+        .map(|(st, &(q, _))| {
+            let view = NnValidityRef {
+                pairs: &st.pairs,
+                polygon: &st.polygon,
+                universe,
+            };
+            crate::invariants::debug_validate_nn(&view, q);
+            (view.to_owned(), st.tpnn)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -434,6 +704,62 @@ mod tests {
         assert_eq!(tpnn, 0);
         assert!((validity.area() - 1.0).abs() < 1e-12);
         assert!(validity.contains(Point::new(0.01, 0.99)));
+    }
+
+    #[test]
+    fn grouped_retrieval_is_bit_identical_to_single() {
+        let items = pseudo_random_items(2500, 41);
+        let tree = RTree::bulk_load(items, RTreeConfig::tiny());
+        let mut scratch = QueryScratch::new();
+        // A tight tile (the serve shape) plus spread members, mixed k.
+        let mut members: Vec<(Point, Vec<Item>)> = Vec::new();
+        for i in 0..20 {
+            let q = Point::new(0.41 + (i % 5) as f64 * 0.003, 0.58 + (i / 5) as f64 * 0.003);
+            let inner: Vec<Item> = tree
+                .knn_in(q, 1 + i % 3, &mut scratch)
+                .iter()
+                .map(|&(it, _)| it)
+                .collect();
+            members.push((q, inner));
+        }
+        for &(x, y) in &[(0.07, 0.93), (0.88, 0.12)] {
+            let q = Point::new(x, y);
+            let inner: Vec<Item> = tree
+                .knn_in(q, 4, &mut scratch)
+                .iter()
+                .map(|&(it, _)| it)
+                .collect();
+            members.push((q, inner));
+        }
+        let refs: Vec<(Point, &[Item])> = members.iter().map(|(q, r)| (*q, r.as_slice())).collect();
+        let grouped = retrieve_influence_set_group(&tree, &refs, unit(), &mut scratch);
+        assert_eq!(grouped.len(), members.len());
+        for ((q, inner), (validity, tpnn)) in members.iter().zip(&grouped) {
+            let (want, want_tpnn) =
+                retrieve_influence_set_in(&tree, *q, inner, unit(), &mut scratch);
+            assert_eq!(*tpnn, want_tpnn, "TPNN count at {q}");
+            let want_pairs: Vec<(u64, u64)> =
+                want.pairs().map(|p| (p.inner.id, p.outer.id)).collect();
+            let got_pairs: Vec<(u64, u64)> = validity
+                .pairs
+                .iter()
+                .map(|p| (p.inner.id, p.outer.id))
+                .collect();
+            assert_eq!(got_pairs, want_pairs, "pair discovery order at {q}");
+            let want_bits: Vec<(u64, u64)> = want
+                .polygon()
+                .vertices()
+                .iter()
+                .map(|v| (v.x.to_bits(), v.y.to_bits()))
+                .collect();
+            let got_bits: Vec<(u64, u64)> = validity
+                .polygon
+                .vertices()
+                .iter()
+                .map(|v| (v.x.to_bits(), v.y.to_bits()))
+                .collect();
+            assert_eq!(got_bits, want_bits, "polygon vertex bits at {q}");
+        }
     }
 
     #[test]

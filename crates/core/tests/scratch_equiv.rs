@@ -56,6 +56,7 @@ fn retrieve_influence_set_in_bit_identical() {
             let (plain, plain_tpnn) = retrieve_influence_set(&tree, q, &inner, unit());
             let (reused, reused_tpnn) =
                 retrieve_influence_set_in(&tree, q, &inner, unit(), &mut scratch);
+            let reused = reused.to_owned();
             assert_eq!(plain_tpnn, reused_tpnn, "case {case}: TPNN query count");
             assert_validity_identical(&plain, &reused, &format!("case {case}"));
         }

@@ -82,11 +82,27 @@ impl ConvexPolygon {
         }
     }
 
+    /// Clones `other`'s vertices into `self`, reusing the allocation
+    /// (`Clone::clone_from` with scratch-friendly intent made explicit).
+    pub fn assign(&mut self, other: &ConvexPolygon) {
+        self.vertices.clear();
+        self.vertices.extend_from_slice(&other.vertices);
+    }
+
     /// The polygon covering a rectangle.
     pub fn from_rect(r: &Rect) -> Self {
         ConvexPolygon {
             vertices: r.corners().to_vec(),
         }
+    }
+
+    /// Resets this polygon in place to cover a rectangle, reusing the
+    /// vertex allocation. The in-place counterpart of
+    /// [`ConvexPolygon::from_rect`] for scratch-hosted polygons that are
+    /// rebuilt every query.
+    pub fn assign_rect(&mut self, r: &Rect) {
+        self.vertices.clear();
+        self.vertices.extend_from_slice(&r.corners());
     }
 
     /// Vertices in CCW order.
@@ -252,6 +268,14 @@ impl ConvexPolygon {
     }
 }
 
+impl Default for ConvexPolygon {
+    /// The empty polygon — lets scratch structs hosting a polygon derive
+    /// `Default`.
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
 /// Removes consecutive (cyclically) duplicate points from a vertex ring.
 /// Single-clip Sutherland–Hodgman over a vertex ring: keeps inside
 /// vertices and inserts the boundary crossing on each inside/outside
@@ -296,6 +320,21 @@ mod tests {
 
     fn unit_square() -> ConvexPolygon {
         ConvexPolygon::from_rect(&Rect::new(0.0, 0.0, 1.0, 1.0))
+    }
+
+    #[test]
+    fn assign_reuses_allocation() {
+        let mut p = ConvexPolygon::default();
+        assert!(p.is_empty());
+        p.assign_rect(&Rect::new(1.0, 1.0, 4.0, 3.0));
+        assert_eq!(p, ConvexPolygon::from_rect(&Rect::new(1.0, 1.0, 4.0, 3.0)));
+        let cap = p.vertices.capacity();
+        p.assign_rect(&Rect::new(0.0, 0.0, 1.0, 1.0));
+        assert_eq!(p, unit_square());
+        assert_eq!(p.vertices.capacity(), cap, "re-assign must not reallocate");
+        let mut q = ConvexPolygon::empty();
+        q.assign(&p);
+        assert_eq!(q, p);
     }
 
     #[test]

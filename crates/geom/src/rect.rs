@@ -247,6 +247,24 @@ impl Rect {
         dx * dx + dy * dy
     }
 
+    /// Squared minimum distance between this rectangle and `other`
+    /// (zero when they intersect).
+    ///
+    /// Admissible group bound: for every `q ∈ other`,
+    /// `self.mindist_sq_rect(other) ≤ self.mindist_sq(q)` — the
+    /// shared-frontier group kNN of `lbq-rtree` prunes whole subtrees
+    /// against a tile of query points with one evaluation.
+    #[inline]
+    pub fn mindist_sq_rect(&self, other: &Rect) -> f64 {
+        let dx = (self.xmin - other.xmax)
+            .max(0.0)
+            .max(other.xmin - self.xmax);
+        let dy = (self.ymin - other.ymax)
+            .max(0.0)
+            .max(other.ymin - self.ymax);
+        dx * dx + dy * dy
+    }
+
     /// Maximum distance from `p` to any point of the rectangle.
     #[inline]
     pub fn maxdist(&self, p: Point) -> f64 {

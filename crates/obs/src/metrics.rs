@@ -127,6 +127,14 @@ impl Histogram {
         self.record_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
     }
 
+    /// Records a raw unitless sample (tile sizes, batch occupancy, …):
+    /// same power-of-two bucket lattice, the value is taken as-is. The
+    /// `_ns` fields of the summary then read as plain values.
+    #[inline]
+    pub fn record_value(&self, v: u64) {
+        self.record_ns(v);
+    }
+
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.0.count.load(Ordering::Relaxed)

@@ -34,14 +34,23 @@
 //!   heap allocations. Nodes are stored struct-of-arrays (parallel
 //!   MBR/child arrays, plain item arrays in leaves) so the scan loops
 //!   stream contiguous rects. See DESIGN.md §11.
+//! * **Hilbert-packed arenas and group queries**: [`RTree::repack`]
+//!   rewrites a finished tree into descent-order arena layout with
+//!   Hilbert-sorted siblings ([`RTree::bulk_load_packed`] composes it
+//!   with STR), carrying a column mirror of leaf coordinates and
+//!   child MBRs that the scan kernels vectorize over — every query
+//!   stays bit-identical to the source tree. [`RTree::knn_group_in`]
+//!   answers a tile of co-located queries in one shared-frontier
+//!   traversal, bit-identical per member to [`RTree::knn_in`]. See
+//!   DESIGN.md §12.
 //!
 //! ## Metering
 //!
 //! All read queries take `&self`; counters use interior mutability.
 //! [`RTree::with_stats`] scopes a closure and returns the NA/PA delta
-//! it incurred (nesting-safe); [`RTree::take_stats`] is the legacy
-//! snapshot-and-reset used by phase-attribution harnesses (e.g. "the
-//! initial NN query" vs "the TPNN queries", as in the paper's Fig. 27).
+//! it incurred (nesting-safe); phase-attribution harnesses (e.g. "the
+//! initial NN query" vs "the TPNN queries", as in the paper's Fig. 27)
+//! nest such scopes rather than resetting any global counter.
 //!
 //! Every public query entry point additionally opens an `lbq_obs` span
 //! (`rtree-knn`, `rtree-knn-df`, `rtree-window`, `rtree-tpnn`,
@@ -53,11 +62,14 @@
 
 mod browse;
 mod bulk;
+mod group;
+pub mod hilbert;
 mod insert;
 mod nn;
 mod node;
 mod probe;
 mod query;
+mod repack;
 mod scratch;
 mod stats;
 mod tp;
@@ -70,7 +82,7 @@ pub use bulk::DEFAULT_BULK_FILL;
 pub use node::{Item, NodeId};
 pub use scratch::QueryScratch;
 pub use stats::{LruBuffer, Stats};
-pub use tp::{TpBound, TpEvent};
+pub use tp::{TpBound, TpEvent, TpProbe};
 pub use tpwin::{TpWindowChange, TpWindowEvent};
 pub use tree::RTree;
 pub use util::OrdF64;

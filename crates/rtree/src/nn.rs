@@ -61,39 +61,88 @@ impl RTree {
         if k == 0 || self.is_empty() {
             return;
         }
+        let (queue, cands) = (&mut scratch.queue, &mut scratch.cands);
+        self.knn_core(q, k, queue, cands, probe);
+        // The candidate array is already sorted by (dist², id), which is
+        // exactly the output order (√ is monotone).
+        scratch
+            .out_nn
+            .extend(cands.slots().iter().map(|c| (c.item, c.dist_sq.sqrt())));
+    }
+
+    /// The best-first kNN loop against caller-chosen buffers. Shared by
+    /// the single-query path above and the per-query fallback of the
+    /// group search ([`RTree::knn_group_in`]), so both produce the same
+    /// candidates by construction.
+    pub(crate) fn knn_core(
+        &self,
+        q: Point,
+        k: usize,
+        queue: &mut std::collections::BinaryHeap<Reverse<(OrdF64, crate::NodeId)>>,
+        cands: &mut crate::scratch::CandidateSet,
+        probe: &mut QueryProbe,
+    ) {
         // Min-heap of (mindist², node) and the bounded best-k array.
-        let queue = &mut scratch.queue;
         queue.clear();
-        let cands = &mut scratch.cands;
         cands.reset(k);
         queue.push(Reverse((OrdF64::new(0.0), self.root)));
 
         while let Some(Reverse((OrdF64(lb), node_id))) = queue.pop() {
             probe.pop();
-            if cands.full() && lb >= cands.worst() {
+            // Strict comparison: a node at exactly the k-th distance may
+            // still hold an id-tie-break winner (see CandidateSet), so
+            // only nodes strictly beyond the k-th distance are pruned.
+            if cands.full() && lb > cands.worst() {
                 break; // no unexplored node can improve the result
             }
             self.access(node_id);
             let node = self.node(node_id);
             probe.visit(node.level);
             if node.is_leaf() {
-                for &item in &node.items {
-                    cands.consider(q.dist_sq(item.point), item);
+                match self.leaf_coords(node_id) {
+                    // Packed arena: masked distance prepass over the
+                    // column mirror, then offer only the items that can
+                    // still displace a candidate. The entry worst is the
+                    // loosest gate this scan will see (it only shrinks),
+                    // the per-item check re-applies the current one, and
+                    // `consider` rejects strictly-worse items itself, so
+                    // the skip changes nothing but the work done.
+                    Some((xs, ys)) => {
+                        let gate = if cands.full() {
+                            cands.worst()
+                        } else {
+                            f64::INFINITY
+                        };
+                        crate::util::for_each_d2_within(xs, ys, q, gate, |j, d2| {
+                            if !cands.full() || d2 <= cands.worst() {
+                                cands.consider(d2, node.items[j]);
+                            }
+                        });
+                    }
+                    None => {
+                        for &item in &node.items {
+                            cands.consider(q.dist_sq(item.point), item);
+                        }
+                    }
                 }
             } else {
-                for (mbr, &child) in node.mbrs.iter().zip(&node.children) {
-                    let lb = mbr.mindist_sq(q);
-                    if !cands.full() || lb < cands.worst() {
-                        queue.push(Reverse((OrdF64::new(lb), child)));
+                match self.child_mbr_cols(node_id) {
+                    Some(cols) => crate::util::for_each_mindist_sq(cols, q, |j, lb| {
+                        if !cands.full() || lb <= cands.worst() {
+                            queue.push(Reverse((OrdF64::new(lb), node.children[j])));
+                        }
+                    }),
+                    None => {
+                        for (mbr, &child) in node.mbrs.iter().zip(&node.children) {
+                            let lb = mbr.mindist_sq(q);
+                            if !cands.full() || lb <= cands.worst() {
+                                queue.push(Reverse((OrdF64::new(lb), child)));
+                            }
+                        }
                     }
                 }
             }
         }
-        // The candidate array is already sorted by (dist², id), which is
-        // exactly the output order (√ is monotone).
-        scratch
-            .out_nn
-            .extend(cands.slots().iter().map(|c| (c.item, c.dist_sq.sqrt())));
     }
 
     /// Depth-first branch-and-bound k-NN `[RKV95]`. Same result contract
@@ -146,7 +195,10 @@ impl RTree {
         stack.clear();
         stack.push((0.0, self.root));
         while let Some((lb, node_id)) = stack.pop() {
-            if cands.full() && lb >= cands.worst() {
+            // Strict, mirroring the best-first prune: distance ties at
+            // the k-th slot are resolved by id, so equal-bound subtrees
+            // must still be visited.
+            if cands.full() && lb > cands.worst() {
                 continue;
             }
             probe.pop();
@@ -154,8 +206,25 @@ impl RTree {
             let node = self.node(node_id);
             probe.visit(node.level);
             if node.is_leaf() {
-                for &item in &node.items {
-                    cands.consider(q.dist_sq(item.point), item);
+                match self.leaf_coords(node_id) {
+                    // Same masked-gate reasoning as the best-first scan.
+                    Some((xs, ys)) => {
+                        let gate = if cands.full() {
+                            cands.worst()
+                        } else {
+                            f64::INFINITY
+                        };
+                        crate::util::for_each_d2_within(xs, ys, q, gate, |j, d2| {
+                            if !cands.full() || d2 <= cands.worst() {
+                                cands.consider(d2, node.items[j]);
+                            }
+                        });
+                    }
+                    None => {
+                        for &item in &node.items {
+                            cands.consider(q.dist_sq(item.point), item);
+                        }
+                    }
                 }
                 continue;
             }
@@ -163,12 +232,17 @@ impl RTree {
             // heuristic), pruning against the evolving k-th best.
             let order = &mut scratch.order;
             order.clear();
-            order.extend(
-                node.mbrs
-                    .iter()
-                    .zip(&node.children)
-                    .map(|(mbr, &child)| (mbr.mindist_sq(q), child)),
-            );
+            match self.child_mbr_cols(node_id) {
+                Some(cols) => crate::util::for_each_mindist_sq(cols, q, |j, lb| {
+                    order.push((lb, node.children[j]));
+                }),
+                None => order.extend(
+                    node.mbrs
+                        .iter()
+                        .zip(&node.children)
+                        .map(|(mbr, &child)| (mbr.mindist_sq(q), child)),
+                ),
+            }
             order.sort_by(|a, b| a.0.total_cmp(&b.0));
             // Reversed: the closest child must be popped first.
             stack.extend(order.iter().rev().copied());

@@ -1,0 +1,295 @@
+//! Hilbert-packed arena rewriting.
+//!
+//! An R\*-tree built by a million inserts (or even by STR) leaves its
+//! `Vec<Node>` arena in *build* order: a parent's children are scattered
+//! wherever splits happened to allocate them, so a query descent hops
+//! across the arena and — on real hardware — across cache lines and
+//! pages. [`RTree::repack`] rewrites the arena into **DFS,
+//! children-adjacent** order with **Hilbert-sorted** siblings and leaf
+//! items (see [`crate::hilbert`] and DESIGN.md §12):
+//!
+//! * the root is node 0;
+//! * every parent's children occupy one contiguous block of NodeIds, in
+//!   Hilbert order of their MBR centers — the `mbrs`/`children` scan of
+//!   a node enumerates a run of adjacent arena slots;
+//! * each child's descendants are laid out (recursively, in full)
+//!   before the next sibling's, so every subtree is one contiguous
+//!   arena range and a depth-first descent is near-sequential;
+//! * leaf items are sorted by the Hilbert key of their point, so a
+//!   plane-sweep of key-adjacent queries re-reads warm item slots;
+//! * the free list is dropped — `nodes.len()` equals
+//!   [`RTree::node_count`].
+//!
+//! Only the *storage order* changes. The node/parent structure, entry
+//! counts, levels and MBRs are all preserved, so [`RTree::node_count`]
+//! and the disk-model NA/PA semantics are untouched: a query visits the
+//! same *set* of nodes (kNN tie-breaks are order-independent, see
+//! [`crate::QueryScratch`]) and the paper's I/O figures do not move.
+
+use crate::hilbert::hilbert_key;
+use crate::node::{Node, NodeId};
+use crate::stats::StatsCell;
+use crate::tree::RTree;
+use crate::util::node_id;
+use crate::RTreeConfig;
+use lbq_geom::Rect;
+use std::sync::atomic::AtomicBool;
+use std::sync::Mutex;
+
+impl RTree {
+    /// Rewrites the tree into a Hilbert-packed arena (module docs above)
+    /// and returns it. `&self` — the source tree is untouched and
+    /// queries against both return bit-identical results.
+    ///
+    /// Counters start at zero on the packed tree; an attached LRU buffer
+    /// is re-attached **cold** with the same page capacity (same
+    /// disk-model geometry, no carried-over residency).
+    pub fn repack(&self) -> RTree {
+        let universe = self.mbr().unwrap_or_else(|| Rect::new(0.0, 0.0, 0.0, 0.0));
+        let mut nodes: Vec<Node> = Vec::with_capacity(self.node_count());
+        // Slot 0 is the root; descendants are claimed depth-first.
+        nodes.push(Node::new_leaf());
+        self.place(self.root, 0, &universe, &mut nodes);
+        debug_assert_eq!(nodes.len(), self.node_count());
+
+        // Column mirror of the leaf coordinates, in the same arena
+        // order: the leaf-scan kernels vectorize their distance prepass
+        // over these slices (see `LeafSoa`). The `u32` prefix offsets
+        // cap the mirror at 2^32 items; a larger tree simply goes
+        // without (queries fall back to the row layout).
+        // lbq-check: allow(lossy-cast) — u32 → usize is widening here
+        let soa = (self.len <= u32::MAX as usize).then(|| {
+            let mut soa = crate::tree::LeafSoa::default();
+            soa.xs.reserve(self.len);
+            soa.ys.reserve(self.len);
+            soa.start.reserve(nodes.len() + 1);
+            soa.cstart.reserve(nodes.len() + 1);
+            soa.start.push(0);
+            soa.cstart.push(0);
+            for node in &nodes {
+                for item in &node.items {
+                    soa.xs.push(item.point.x);
+                    soa.ys.push(item.point.y);
+                }
+                // lbq-check: allow(lossy-cast) — guarded: len ≤ u32::MAX
+                soa.start.push(soa.xs.len() as u32);
+                for mbr in &node.mbrs {
+                    soa.cxmin.push(mbr.xmin);
+                    soa.cymin.push(mbr.ymin);
+                    soa.cxmax.push(mbr.xmax);
+                    soa.cymax.push(mbr.ymax);
+                }
+                // lbq-check: allow(lossy-cast) — nodes ≤ items ≤ u32::MAX
+                soa.cstart.push(soa.cxmin.len() as u32);
+            }
+            soa
+        });
+
+        let packed = RTree {
+            nodes,
+            free: Vec::new(),
+            root: 0,
+            config: self.config,
+            len: self.len,
+            stats: StatsCell::default(),
+            buffer: Mutex::new(None),
+            buffered: AtomicBool::new(false),
+            soa,
+        };
+        if self.has_buffer() {
+            if let Some(b) = self.buf().as_ref() {
+                packed.set_buffer(b.capacity());
+            }
+        }
+        packed.debug_validate();
+        packed
+    }
+
+    /// Copies the subtree rooted at `old_id` into `nodes[new_idx]`,
+    /// claiming contiguous slots for its children and recursing in
+    /// child order.
+    fn place(&self, old_id: NodeId, new_idx: usize, universe: &Rect, nodes: &mut Vec<Node>) {
+        let old = self.node(old_id);
+        if old.is_leaf() {
+            let mut leaf = Node::new_leaf();
+            leaf.items.extend_from_slice(&old.items);
+            // Stable: duplicate points keep their original order, so
+            // repacking twice is the identity on the arena.
+            leaf.items
+                .sort_by_key(|item| hilbert_key(item.point, universe));
+            nodes[new_idx] = leaf;
+            return;
+        }
+        let mut order: Vec<usize> = (0..old.children.len()).collect();
+        order.sort_by_key(|&i| hilbert_key(old.mbrs[i].center(), universe));
+
+        // Claim one adjacent block of ids for all children, then lay
+        // each child's whole subtree out before its next sibling's.
+        let block = nodes.len();
+        nodes.resize_with(block + order.len(), Node::new_leaf);
+        let mut packed = Node::new_internal(old.level);
+        for (slot, &i) in order.iter().enumerate() {
+            packed.mbrs.push(old.mbrs[i]);
+            packed.children.push(node_id(block + slot));
+        }
+        nodes[new_idx] = packed;
+        for (slot, &i) in order.iter().enumerate() {
+            self.place(old.children[i], block + slot, universe, nodes);
+        }
+    }
+
+    /// [`RTree::bulk_load`] followed by [`RTree::repack`]: builds the
+    /// STR tree and immediately rewrites it into the packed layout. The
+    /// construction path for the locality benchmarks and for any
+    /// read-mostly deployment.
+    pub fn bulk_load_packed(items: Vec<crate::Item>, config: RTreeConfig) -> RTree {
+        Self::bulk_load(items, config).repack()
+    }
+
+    /// `true` when the arena is in packed (children-adjacent, no free
+    /// slots) form — diagnostics for tests and the benchmark harness;
+    /// queries never check this.
+    pub fn is_packed(&self) -> bool {
+        if !self.free.is_empty() || self.root != 0 {
+            return false;
+        }
+        self.nodes.iter().all(|n| {
+            n.children
+                .iter()
+                .zip(n.children.iter().skip(1))
+                .all(|(&a, &b)| b == a + 1)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Item, RTreeConfig};
+    use lbq_geom::Point;
+
+    fn rand_items(n: usize, seed: u64) -> Vec<Item> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        (0..n)
+            .map(|i| {
+                let x = (next() >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
+                let y = (next() >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
+                Item::new(Point::new(x, y), i as u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn repack_preserves_shape_and_contents() {
+        let items = rand_items(3000, 7);
+        let mut tree = RTree::new(RTreeConfig::tiny());
+        for &it in &items {
+            tree.insert(it);
+        }
+        // Insert-built trees carry free-list holes from splits/merges;
+        // delete a few to guarantee some.
+        for it in items.iter().take(50) {
+            assert!(tree.delete(it.point, it.id));
+        }
+        let packed = tree.repack();
+        packed.check_invariants().unwrap();
+        assert!(packed.is_packed());
+        assert_eq!(packed.len(), tree.len());
+        assert_eq!(packed.node_count(), tree.node_count());
+        assert_eq!(packed.node_count(), packed.nodes.len(), "free list dropped");
+        assert_eq!(packed.height(), tree.height());
+        let mut a: Vec<(u64, u64, u64)> = tree
+            .iter_items()
+            .map(|i| (i.id, i.point.x.to_bits(), i.point.y.to_bits()))
+            .collect();
+        let mut b: Vec<(u64, u64, u64)> = packed
+            .iter_items()
+            .map(|i| (i.id, i.point.x.to_bits(), i.point.y.to_bits()))
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "same multiset of items, bit-for-bit");
+    }
+
+    #[test]
+    fn repack_is_idempotent_on_the_arena() {
+        let tree = RTree::bulk_load(rand_items(2000, 21), RTreeConfig::tiny());
+        let once = tree.repack();
+        let twice = once.repack();
+        assert_eq!(once.nodes.len(), twice.nodes.len());
+        for (a, b) in once.nodes.iter().zip(&twice.nodes) {
+            assert_eq!(a.level, b.level);
+            assert_eq!(a.children, b.children);
+            assert_eq!(
+                a.items.iter().map(|i| i.id).collect::<Vec<_>>(),
+                b.items.iter().map(|i| i.id).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn bulk_load_packed_is_packed() {
+        let t = RTree::bulk_load_packed(rand_items(5000, 3), RTreeConfig::tiny());
+        t.check_invariants().unwrap();
+        assert!(t.is_packed());
+        assert_eq!(t.len(), 5000);
+        // An insert-built tree is essentially never packed.
+        let mut grown = RTree::new(RTreeConfig::tiny());
+        for it in rand_items(1000, 4) {
+            grown.insert(it);
+        }
+        assert!(!grown.is_packed());
+    }
+
+    #[test]
+    fn repack_preserves_buffer_geometry_cold() {
+        let tree = RTree::bulk_load(rand_items(2000, 9), RTreeConfig::tiny());
+        tree.set_buffer_fraction(0.1);
+        let _ = tree.knn(Point::new(50.0, 50.0), 5); // warm the source buffer
+        let packed = tree.repack();
+        assert!(packed.has_buffer());
+        let (pages, resident) = packed
+            .buf()
+            .as_ref()
+            .map(|b| (b.capacity(), b.resident_count()))
+            .unwrap();
+        assert_eq!(pages, tree.buf().as_ref().unwrap().capacity());
+        assert_eq!(resident, 0, "packed buffer starts cold");
+        assert_eq!(packed.stats(), crate::Stats::default());
+    }
+
+    #[test]
+    fn repack_empty_and_tiny() {
+        let empty = RTree::new(RTreeConfig::tiny());
+        let p = empty.repack();
+        assert!(p.is_empty());
+        assert_eq!(p.node_count(), 1);
+        p.check_invariants().unwrap();
+
+        let one = RTree::bulk_load(rand_items(1, 5), RTreeConfig::tiny());
+        let p = one.repack();
+        assert_eq!(p.len(), 1);
+        assert!(p.is_packed());
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn packed_tree_remains_mutable() {
+        let mut t = RTree::bulk_load_packed(rand_items(1500, 11), RTreeConfig::tiny());
+        for it in rand_items(200, 12).into_iter().map(|mut i| {
+            i.id += 10_000;
+            i
+        }) {
+            t.insert(it);
+        }
+        assert_eq!(t.len(), 1700);
+        t.check_invariants().unwrap();
+    }
+}

@@ -17,7 +17,7 @@
 
 use crate::node::{Item, NodeId};
 use crate::util::OrdF64;
-use lbq_geom::Point;
+use lbq_geom::{ConvexPolygon, Point, Vec2};
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
@@ -68,10 +68,22 @@ impl CandidateSet {
     }
 
     /// Offers a candidate: inserted while the set is under-full, or when
-    /// it strictly beats the current worst (which is then evicted).
+    /// it beats the current worst under the total `(dist_sq, id)` order
+    /// (which is then evicted). Breaking distance ties by id — instead
+    /// of first-seen-wins — makes the surviving k a function of the
+    /// *point set alone*, not of traversal order, which is what lets a
+    /// [`crate::RTree::repack`]ed tree and the shared-frontier group kNN
+    /// promise bit-identical results.
     pub(crate) fn consider(&mut self, dist_sq: f64, item: Item) {
         if self.full() {
-            if dist_sq.total_cmp(&self.worst()) != Ordering::Less {
+            // lbq-check: allow(no-unwrap-core) — full() implies k ≥ 1 slot
+            let last = self.slots.last().expect("full set is non-empty");
+            if last
+                .dist_sq
+                .total_cmp(&dist_sq)
+                .then(last.item.id.cmp(&item.id))
+                != Ordering::Greater
+            {
                 return;
             }
             self.slots.pop();
@@ -138,6 +150,29 @@ pub struct QueryScratch {
     /// Staging buffer for in-place polygon clipping
     /// ([`lbq_geom::ConvexPolygon::clip_in_place`]).
     pub region_clip: Vec<Point>,
+    /// Influence pairs `(inner, outer)` backing the borrowed validity
+    /// region returned by `lbq-core`'s zero-allocation region path —
+    /// hosted here (as raw items; `lbq-core` wraps them) so the whole
+    /// kNN → TPNN → region chain runs on one scratch.
+    pub region_pairs: Vec<(Item, Item)>,
+    /// Region polygon backing the same borrowed validity-region view.
+    /// Retains vertex capacity across queries.
+    pub region_polygon: ConvexPolygon,
+    /// Per-query candidate arrays for the shared-frontier group kNN
+    /// ([`crate::RTree::knn_group_in`]): slot `i` collects the best k of
+    /// query `i` in the tile. Grows to the largest tile seen.
+    pub(crate) group_cands: Vec<CandidateSet>,
+    /// Frontier for the grouped TPNN ([`crate::RTree::tp_knn_group_in`]):
+    /// min-heap of (group lower bound, node, member bitmask).
+    pub(crate) tp_group_queue: BinaryHeap<Reverse<crate::tp::GroupEntry>>,
+    /// Per-member rotated frame `(perp, d_max, inner_d2 start)` for the
+    /// grouped TPNN; the third field indexes into [`Self::tp_inner_d2`].
+    pub(crate) tp_group_frame: Vec<(Vec2, f64, u32)>,
+    /// Precomputed `dist²(q, oᵢ)` for the probe's inner set — these are
+    /// probe-invariant, so the leaf scans reuse them instead of
+    /// recomputing one per (item, inner) pair. Grouped probes append
+    /// their sets back to back (offsets in [`Self::tp_group_frame`]).
+    pub(crate) tp_inner_d2: Vec<f64>,
 }
 
 impl QueryScratch {
@@ -183,13 +218,20 @@ mod tests {
     }
 
     #[test]
-    fn equal_distance_does_not_evict() {
-        // Matches the heap semantics: a tie with the worst is rejected.
+    fn equal_distance_ties_resolve_by_id() {
+        // The (dist², id) order is total: on a distance tie the smaller
+        // id wins regardless of arrival order, so the surviving set is
+        // independent of tree traversal order.
         let mut c = CandidateSet::default();
         c.reset(1);
         c.consider(3.0, item(7));
         c.consider(3.0, item(1));
-        assert_eq!(c.slots()[0].item.id, 7);
+        assert_eq!(c.slots()[0].item.id, 1);
+        let mut c = CandidateSet::default();
+        c.reset(1);
+        c.consider(3.0, item(1));
+        c.consider(3.0, item(7));
+        assert_eq!(c.slots()[0].item.id, 1, "arrival order must not matter");
     }
 
     #[test]

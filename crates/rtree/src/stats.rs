@@ -12,8 +12,8 @@ use crate::node::NodeId;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Cumulative access counters. Snapshot-and-reset with
-/// [`crate::RTree::take_stats`].
+/// Cumulative access counters. Read with [`crate::RTree::stats`], or
+/// scoped as a delta with [`crate::RTree::with_stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Stats {
     /// Nodes read (every node visit, buffered or not).
@@ -33,8 +33,8 @@ impl Stats {
     }
 
     /// Element-wise difference from an `earlier` snapshot of the same
-    /// counters. Saturating: if the counters were reset in between
-    /// (see [`crate::RTree::take_stats`]), the delta clamps to zero
+    /// counters. Saturating: should the counters ever run backwards
+    /// (a snapshot racing a counter reset), the delta clamps to zero
     /// instead of wrapping.
     pub fn delta_since(self, earlier: Stats) -> Stats {
         Stats {
@@ -61,11 +61,6 @@ impl StatsCell {
             node_accesses: self.node_accesses.load(Ordering::Relaxed),
             page_faults: self.page_faults.load(Ordering::Relaxed),
         }
-    }
-
-    pub(crate) fn reset(&self) {
-        self.node_accesses.store(0, Ordering::Relaxed);
-        self.page_faults.store(0, Ordering::Relaxed);
     }
 }
 

@@ -1,0 +1,217 @@
+//! Equivalence suite for the Hilbert-packed arena: every query against a
+//! repacked tree must return **bit-identical** results to the same query
+//! against the source tree. `repack()` promises exactly this (the arena
+//! rewrite changes memory order, never geometry), and the packed arena's
+//! column mirror adds a second code path — the vectorized leaf/child
+//! prepasses — that these tests pin against the row-layout scans, across
+//! configs and across build styles (insert-built and bulk-loaded).
+//!
+//! A final group mutates the packed tree, which drops the column mirror:
+//! the same stream then exercises the row-layout fallback on the packed
+//! arena, proving the mirror is an accelerator, not a dependency.
+
+use lbq_geom::{Point, Rect, Vec2};
+use lbq_rng::Xoshiro256ss;
+use lbq_rtree::{Item, QueryScratch, RTree, RTreeConfig};
+
+fn rand_items(rng: &mut Xoshiro256ss, n: usize) -> Vec<Item> {
+    (0..n)
+        .map(|i| {
+            Item::new(
+                Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)),
+                i as u64,
+            )
+        })
+        .collect()
+}
+
+fn rand_dir(rng: &mut Xoshiro256ss) -> Vec2 {
+    loop {
+        let v = Vec2::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+        if let Some(u) = v.normalized() {
+            return u;
+        }
+    }
+}
+
+fn assert_nn_identical(a: &[(Item, f64)], b: &[(Item, f64)], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: result length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.0.id, y.0.id, "{ctx}: id at {i}");
+        assert_eq!(
+            x.1.to_bits(),
+            y.1.to_bits(),
+            "{ctx}: distance bits at {i} ({} vs {})",
+            x.1,
+            y.1
+        );
+    }
+}
+
+/// Window results come back in traversal order, which legitimately
+/// differs between arenas; the *set* must match exactly.
+fn assert_window_identical(a: &[Item], b: &[Item], ctx: &str) {
+    let mut a: Vec<u64> = a.iter().map(|i| i.id).collect();
+    let mut b: Vec<u64> = b.iter().map(|i| i.id).collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "{ctx}: window item set");
+}
+
+fn configs() -> [RTreeConfig; 2] {
+    [RTreeConfig::tiny(), RTreeConfig::paper()]
+}
+
+/// A mixed ~250-query stream (kNN best-first, kNN depth-first, window,
+/// TPNN) against both trees, all results compared bit-for-bit.
+fn assert_stream_equiv(orig: &RTree, packed: &RTree, rng: &mut Xoshiro256ss, ctx: &str) {
+    let mut sa = QueryScratch::new();
+    let mut sb = QueryScratch::new();
+    for case in 0..250 {
+        let q = Point::new(rng.gen_range(-0.2..1.2), rng.gen_range(-0.2..1.2));
+        match case % 4 {
+            0 => {
+                let k = rng.gen_range(1..14usize);
+                assert_nn_identical(
+                    orig.knn_in(q, k, &mut sa),
+                    packed.knn_in(q, k, &mut sb),
+                    &format!("{ctx}: knn case {case}"),
+                );
+            }
+            1 => {
+                let k = rng.gen_range(1..10usize);
+                assert_nn_identical(
+                    orig.knn_depth_first_in(q, k, &mut sa),
+                    packed.knn_depth_first_in(q, k, &mut sb),
+                    &format!("{ctx}: knn-df case {case}"),
+                );
+            }
+            2 => {
+                let w = rng.gen_range(0.01..0.3);
+                let h = rng.gen_range(0.01..0.3);
+                let win = Rect::new(q.x, q.y, q.x + w, q.y + h);
+                assert_window_identical(
+                    orig.window_in(&win, &mut sa),
+                    packed.window_in(&win, &mut sb),
+                    &format!("{ctx}: window case {case}"),
+                );
+            }
+            _ => {
+                // TPNN probe seeded like the validity-region loop: the
+                // inner set is a kNN result, the ray is random.
+                let k = rng.gen_range(1..6usize);
+                let inner: Vec<Item> = orig.knn_in(q, k, &mut sa).iter().map(|&(i, _)| i).collect();
+                let dir = rand_dir(rng);
+                let t_max = rng.gen_range(0.05..2.0);
+                let ea = orig.tp_knn_in(q, dir, t_max, &inner, &mut sa);
+                let eb = packed.tp_knn_in(q, dir, t_max, &inner, &mut sb);
+                match (ea, eb) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.object.id, b.object.id, "{ctx}: tpnn object {case}");
+                        assert_eq!(a.partner.id, b.partner.id, "{ctx}: tpnn partner {case}");
+                        assert_eq!(
+                            a.time.to_bits(),
+                            b.time.to_bits(),
+                            "{ctx}: tpnn time bits {case}"
+                        );
+                    }
+                    (a, b) => panic!("{ctx}: tpnn case {case} diverged: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn repack_preserves_queries_bit_for_bit() {
+    let mut rng = Xoshiro256ss::seed_from_u64(0x9E9ACC);
+    for config in configs() {
+        // Insert-built: the arena order repack untangles.
+        let mut orig = RTree::new(config);
+        for item in rand_items(&mut rng, 900) {
+            orig.insert(item);
+        }
+        let packed = orig.repack();
+        assert!(!orig.is_packed());
+        assert!(packed.is_packed());
+        // The rewrite copies the structure: same shape, same contents.
+        assert_eq!(orig.len(), packed.len());
+        assert_eq!(orig.height(), packed.height());
+        assert_eq!(orig.node_count(), packed.node_count());
+        packed.validate().expect("packed tree invariants");
+        assert_stream_equiv(&orig, &packed, &mut rng, "insert-built");
+    }
+}
+
+#[test]
+fn bulk_load_packed_matches_bulk_load() {
+    let mut rng = Xoshiro256ss::seed_from_u64(0xB17B17);
+    for config in configs() {
+        let items = rand_items(&mut rng, 1200);
+        let orig = RTree::bulk_load(items.clone(), config);
+        let packed = RTree::bulk_load_packed(items, config);
+        assert!(packed.is_packed());
+        assert_eq!(orig.len(), packed.len());
+        assert_eq!(orig.height(), packed.height());
+        packed.validate().expect("packed tree invariants");
+        assert_stream_equiv(&orig, &packed, &mut rng, "bulk-loaded");
+    }
+}
+
+#[test]
+fn group_knn_bit_identical_on_packed_tree() {
+    let mut rng = Xoshiro256ss::seed_from_u64(0x6E0095);
+    for config in configs() {
+        let packed = RTree::bulk_load_packed(rand_items(&mut rng, 1200), config);
+        let mut sa = QueryScratch::new();
+        let mut sb = QueryScratch::new();
+        for case in 0..40 {
+            // Tight tiles (shared frontier) and spread tiles (per-query
+            // fallback) in alternation.
+            let m = rng.gen_range(1..9usize);
+            let c = Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
+            let spread = if case % 2 == 0 { 0.01 } else { 0.7 };
+            let tile: Vec<Point> = (0..m)
+                .map(|_| {
+                    Point::new(
+                        c.x + spread * (rng.gen_range(-1.0..1.0)),
+                        c.y + spread * (rng.gen_range(-1.0..1.0)),
+                    )
+                })
+                .collect();
+            let k = rng.gen_range(1..12usize);
+            let grouped = packed.knn_group_in(&tile, k, &mut sa).to_vec();
+            let mut single = Vec::new();
+            for &q in &tile {
+                single.extend(packed.knn_in(q, k, &mut sb).iter().copied());
+            }
+            assert_nn_identical(&grouped, &single, &format!("group case {case}"));
+        }
+    }
+}
+
+#[test]
+fn mutated_packed_tree_falls_back_bit_for_bit() {
+    let mut rng = Xoshiro256ss::seed_from_u64(0xFA11BAC);
+    for config in configs() {
+        let items = rand_items(&mut rng, 900);
+        let mut orig = RTree::bulk_load(items.clone(), config);
+        let mut packed = RTree::bulk_load_packed(items, config);
+        // Mutation invalidates the column mirror; the packed arena must
+        // answer through the row-layout fallback from here on. The same
+        // items go into both trees so the *answers* stay comparable even
+        // though the structures may now differ.
+        for j in 0..5 {
+            let extra = Item::new(
+                Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)),
+                10_000 + j,
+            );
+            orig.insert(extra);
+            packed.insert(extra);
+        }
+        assert_eq!(orig.len(), packed.len());
+        packed.validate().expect("mutated packed tree invariants");
+        assert_stream_equiv(&orig, &packed, &mut rng, "mutated-packed");
+    }
+}

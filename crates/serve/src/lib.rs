@@ -13,7 +13,12 @@
 //!   kNN-with-validity and window-with-validity requests and returns
 //!   the matching `Vec<QueryResp>`, fanning the batch out across the
 //!   workers (the batching regime argued for by the BRkNN-style batch
-//!   NN processing work in PAPERS.md);
+//!   NN processing work in PAPERS.md); `submit` orders the batch along
+//!   the Hilbert curve of the query foci and dispatches **locality
+//!   tiles** of [`EngineConfig::tile_size`] adjacent queries as single
+//!   jobs, whose cache-miss kNN members are answered through the
+//!   tree's shared-frontier group traversal — responses stay
+//!   byte-identical to untiled dispatch, in submission order;
 //! * a **sharded LRU validity-region cache** ([`RegionCache`]) in front
 //!   of the tree: an incoming query whose focus falls inside a cached
 //!   response's validity region (the point-in-region tests of the

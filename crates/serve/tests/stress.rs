@@ -56,6 +56,7 @@ fn parallel_results_byte_identical_to_sequential() {
             EngineConfig {
                 workers,
                 cache: CacheConfig::disabled(),
+                ..EngineConfig::default()
             },
         );
         let resps = engine.submit(reqs.clone());
@@ -72,6 +73,55 @@ fn parallel_results_byte_identical_to_sequential() {
 }
 
 #[test]
+fn tiled_dispatch_byte_identical_to_untiled() {
+    // The Hilbert tiling (and the shared-frontier group kNN inside it)
+    // must be invisible in the output: same responses, same order, for
+    // every tile size — including tiles that mix kNN ks and windows,
+    // and duplicate foci that land in one tile.
+    let server = build_server(4_000, 19);
+    let mut reqs = workload(300, 29);
+    reqs.extend_from_slice(&reqs.clone()[..50]); // duplicates
+    let untiled = Engine::new(
+        Arc::clone(&server),
+        EngineConfig {
+            workers: 3,
+            cache: CacheConfig::disabled(),
+            tile_size: 1,
+        },
+    );
+    let baseline: Vec<String> = untiled
+        .submit(reqs.clone())
+        .iter()
+        .map(|r| format!("{:?}", r.answer))
+        .collect();
+    for tile_size in [2, 7, 32, 1024] {
+        let tiled = Engine::new(
+            Arc::clone(&server),
+            EngineConfig {
+                workers: 3,
+                cache: CacheConfig::disabled(),
+                tile_size,
+            },
+        );
+        let resps = tiled.submit(reqs.clone());
+        assert_eq!(resps.len(), baseline.len());
+        for (i, (resp, expect)) in resps.iter().zip(&baseline).enumerate() {
+            assert_eq!(
+                format!("{:?}", resp.answer),
+                *expect,
+                "request {i} diverged at tile size {tile_size}"
+            );
+        }
+        let total: u64 = tiled.worker_summaries().iter().map(|s| s.jobs).sum();
+        assert_eq!(
+            total,
+            reqs.len() as u64,
+            "per-query accounting survives tiling"
+        );
+    }
+}
+
+#[test]
 fn concurrent_submitters_each_get_exact_results() {
     let server = build_server(3_000, 23);
     let engine = Arc::new(Engine::new(
@@ -79,6 +129,7 @@ fn concurrent_submitters_each_get_exact_results() {
         EngineConfig {
             workers: 4,
             cache: CacheConfig::disabled(),
+            ..EngineConfig::default()
         },
     ));
     // 4 submitter threads share the engine, each with its own batch;
