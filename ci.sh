@@ -11,8 +11,35 @@ cargo fmt --all --check
 echo "== cargo build --release"
 cargo build --workspace --release
 
-echo "== lbq-check"
-cargo run --release -q -p lbq-check
+echo "== lbq-check (json, diffed against committed baseline)"
+# Exit codes: 0 clean, 1 fresh findings beyond the baseline, 2 the
+# analyzer itself failed (parse/IO/CLI error) — distinguish them so a
+# broken analyzer is never mistaken for a lint regression.
+rc=0
+cargo run --release -q -p lbq-check -- --format json --baseline lbq-check.baseline.json || rc=$?
+if [ "$rc" -eq 2 ]; then
+    echo "ci: lbq-check itself failed (parse/IO error) — fix the analyzer or the source it chokes on" >&2
+    exit 2
+elif [ "$rc" -ne 0 ]; then
+    echo "ci: lbq-check found violations beyond lbq-check.baseline.json (listed above)" >&2
+    exit 1
+fi
+
+echo "== miri (optional: runs when the component is installed)"
+if rustup component list --installed 2>/dev/null | grep -q "^miri"; then
+    cargo miri test -p lbq-geom -q
+else
+    echo "ci: miri not installed; skipping (rustup component add miri)"
+fi
+
+echo "== thread sanitizer (optional: needs nightly + rust-src)"
+if rustc --version | grep -q nightly \
+    && rustup component list --installed 2>/dev/null | grep -q "^rust-src"; then
+    RUSTFLAGS="-Zsanitizer=thread" cargo test -Zbuild-std -q -p lbq-serve --test stress \
+        --target "$(rustc -vV | sed -n 's/^host: //p')"
+else
+    echo "ci: not a nightly toolchain with rust-src; skipping TSan stage"
+fi
 
 echo "== cargo test"
 cargo test --workspace -q

@@ -1,28 +1,94 @@
 //! # lbq-check — workspace-specific static analysis
 //!
-//! A zero-dependency lint pass for this workspace, run as
-//! `cargo run -p lbq-check` (wired into `ci.sh`). It lexes every `.rs`
-//! file with a hand-rolled scanner ([`lexer`]) and enforces six rules
-//! ([`rules`]) that `rustc`/`clippy` cannot express project-wide:
-//! floating-point comparison hygiene, centralized epsilons, panic-free
-//! library code, checked id/index casts in the R-tree arena, doc
-//! coverage of the public geometry/server API, and kebab-case
-//! `lbq_obs` span/metric names.
+//! A zero-dependency analyzer for this workspace, run as
+//! `cargo run -p lbq-check` (wired into `ci.sh`). Three stages:
 //!
-//! Exit status is non-zero when any diagnostic survives the allowlist
-//! (`// lbq-check: allow(<rule>)` on the offending line or the line
-//! above). See DESIGN.md §Correctness tooling.
+//! 1. **Parse** ([`lexer`], [`parse`]): a hand-rolled scanner plus
+//!    brace matching turns each `.rs` file into a [`parse::TokenFile`].
+//!    Files are scanned in parallel by a hand-rolled worker pool (the
+//!    same Mutex-queue pattern `lbq-serve` uses).
+//! 2. **Index** ([`items`], [`callgraph`]): fns, impls, traits, statics
+//!    and atomic fields across all crates feed a conservative
+//!    name-resolved call graph; `hot` and `no-panic` properties
+//!    propagate transitively from the `_in` query entry points and
+//!    `// lbq-check: hot` annotations.
+//! 3. **Rules** ([`rules`], [`interproc`]): seven per-file rules
+//!    (floating-point hygiene, centralized epsilons, panic-free library
+//!    code, checked casts, doc coverage, kebab-case obs names,
+//!    reason-carrying allows) and four interprocedural rules
+//!    (`hot-alloc`, `hot-panic`, `atomic-ordering`,
+//!    `guard-across-call`) over the call graph.
+//!
+//! Findings can be rendered as text or JSON ([`json`]) and diffed
+//! against a committed baseline. Exit status: 0 clean, 1 findings,
+//! 2 parse/IO error. See DESIGN.md §13 "Analyzer architecture".
 
+pub mod callgraph;
+pub mod interproc;
+pub mod items;
+pub mod json;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 
-pub use rules::{check_source, Diagnostic};
+pub use rules::{check_source, Diagnostic, RULE_NAMES};
 
+use items::ItemIndex;
+use parse::{ParseError, TokenFile};
+use rules::Allows;
+use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Why a workspace check could not run to completion (exit code 2).
+#[derive(Debug)]
+pub enum CheckError {
+    /// A file or directory could not be read.
+    Io {
+        /// Path being read when the error occurred.
+        file: String,
+        /// Underlying IO error.
+        source: std::io::Error,
+    },
+    /// A file could not be brace-matched — the analyzer, not the code,
+    /// is confused (the workspace compiles), so findings would be bogus.
+    Parse {
+        /// Workspace-relative path of the unparseable file.
+        file: String,
+        /// What went wrong, with line information.
+        error: ParseError,
+    },
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::Io { file, source } => write!(f, "io error on {file}: {source}"),
+            CheckError::Parse { file, error } => write!(f, "parse error in {file}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Everything stage 1 extracts from one file.
+#[derive(Debug)]
+pub struct FileAnalysis {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Lexed and brace-matched tokens.
+    pub tf: TokenFile,
+    /// The file's allow directives.
+    pub allows: Allows,
+    /// Per-file findings, **unfiltered** by the allowlist.
+    pub diags: Vec<Diagnostic>,
+}
 
 /// Recursively collects every `.rs` file under `root`, skipping
-/// `target/` and hidden directories. Paths come back sorted and
-/// workspace-relative with `/` separators.
+/// `target/`, hidden directories, and `fixtures/` trees (the rule
+/// fixture corpus under `crates/check/tests/fixtures` is deliberately
+/// rule-violating). Paths come back sorted and workspace-relative with
+/// `/` separators.
 pub fn workspace_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     let mut files = Vec::new();
     let mut stack = vec![root.to_path_buf()];
@@ -33,7 +99,7 @@ pub fn workspace_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
             let name = entry.file_name();
             let name = name.to_string_lossy();
             if path.is_dir() {
-                if name != "target" && !name.starts_with('.') {
+                if name != "target" && name != "fixtures" && !name.starts_with('.') {
                     stack.push(path);
                 }
             } else if name.ends_with(".rs") {
@@ -45,20 +111,108 @@ pub fn workspace_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
-/// Runs every rule over every `.rs` file under `root` and returns the
-/// surviving diagnostics, sorted by file and line.
-pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
-    let mut out = Vec::new();
-    for path in workspace_rs_files(root)? {
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(&path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let src = std::fs::read_to_string(&path)?;
-        out.extend(check_source(&rel, &src));
+/// Lexes, parses, and runs the per-file rules over one file.
+pub fn analyze_source(path: &str, src: &str) -> Result<FileAnalysis, ParseError> {
+    let tf = parse::parse(src)?;
+    let allows = Allows::collect(&tf.tokens);
+    let diags = rules::per_file(path, &tf.tokens, &allows);
+    Ok(FileAnalysis {
+        path: path.to_string(),
+        tf,
+        allows,
+        diags,
+    })
+}
+
+/// Stage 1 over a file list: parallel read + lex + parse + per-file
+/// rules. Worker count follows available parallelism (capped at 8 —
+/// the scan is IO-light and short). Results come back sorted by path
+/// regardless of completion order.
+fn scan_files(root: &Path, paths: &[PathBuf]) -> Result<Vec<FileAnalysis>, CheckError> {
+    let queue: Mutex<VecDeque<&PathBuf>> = Mutex::new(paths.iter().collect());
+    let results: Mutex<Vec<FileAnalysis>> = Mutex::new(Vec::with_capacity(paths.len()));
+    let failure: Mutex<Option<CheckError>> = Mutex::new(None);
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(8)
+        .min(paths.len())
+        .max(1);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let Ok(mut q) = queue.lock() else { return };
+                let Some(path) = q.pop_front() else { return };
+                drop(q);
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let outcome = match std::fs::read_to_string(path) {
+                    Err(e) => Err(CheckError::Io {
+                        file: rel,
+                        source: e,
+                    }),
+                    Ok(src) => analyze_source(&rel, &src)
+                        .map_err(|error| CheckError::Parse { file: rel, error }),
+                };
+                match outcome {
+                    Ok(a) => {
+                        if let Ok(mut r) = results.lock() {
+                            r.push(a);
+                        }
+                    }
+                    Err(e) => {
+                        if let Ok(mut f) = failure.lock() {
+                            f.get_or_insert(e);
+                        }
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = failure.into_inner().unwrap_or(None) {
+        return Err(e);
     }
-    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    let mut out = results.into_inner().unwrap_or_default();
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(out)
+}
+
+/// Runs the full three-stage analysis over every `.rs` file under
+/// `root` and returns the surviving diagnostics, sorted by file, line,
+/// and rule.
+pub fn check_workspace(root: &Path) -> Result<Vec<Diagnostic>, CheckError> {
+    let paths = workspace_rs_files(root).map_err(|source| CheckError::Io {
+        file: root.display().to_string(),
+        source,
+    })?;
+    let analyses = scan_files(root, &paths)?;
+
+    // Stage 2: item index + call graph (sequential; file order is the
+    // sorted path order, so indices are deterministic).
+    let mut ix = ItemIndex::default();
+    for a in &analyses {
+        ix.add_file(&a.path, &a.tf);
+    }
+    let tfs: Vec<&TokenFile> = analyses.iter().map(|a| &a.tf).collect();
+    let cg = callgraph::CallGraph::build(&ix, &tfs);
+
+    // Stage 3: per-file findings + interprocedural findings, one shared
+    // allow filter.
+    let mut out: Vec<Diagnostic> = analyses.iter().flat_map(|a| a.diags.clone()).collect();
+    out.extend(interproc::run(&ix, &cg, &tfs));
+    let allows: HashMap<&str, &Allows> = analyses
+        .iter()
+        .map(|a| (a.path.as_str(), &a.allows))
+        .collect();
+    out.retain(|d| {
+        allows
+            .get(d.file.as_str())
+            .is_none_or(|al| !al.is_allowed(d.rule, d.line))
+    });
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(out)
 }
 
@@ -294,7 +448,7 @@ mod tests {
         // Allow comment escape hatch.
         assert!(rules_hit(
             LIB,
-            "fn f(n: &'static str) { // lbq-check: allow(obs-span-name)\n    let _c = lbq_obs::counter(n); }"
+            "fn f(n: &'static str) { // lbq-check: allow(obs-span-name, \"caller passes a literal\")\n    let _c = lbq_obs::counter(n); }"
         )
         .is_empty());
     }
@@ -303,7 +457,8 @@ mod tests {
 
     #[test]
     fn allow_comment_suppresses_same_line_and_line_above() {
-        let same = "fn f(x: Option<u8>) { x.unwrap(); } // lbq-check: allow(no-unwrap-core)";
+        let same =
+            "fn f(x: Option<u8>) { x.unwrap(); } // lbq-check: allow(no-unwrap-core, \"test double\")";
         assert!(rules_hit(LIB, same).is_empty());
         let above = "// lbq-check: allow(no-unwrap-core) — invariant: filled above\n\
                      fn f(x: Option<u8>) { x.unwrap(); }";
@@ -312,18 +467,38 @@ mod tests {
 
     #[test]
     fn allow_comment_is_rule_specific_and_local() {
-        let wrong_rule = "fn f(x: Option<u8>) { x.unwrap(); } // lbq-check: allow(float-eq)";
+        let wrong_rule =
+            "fn f(x: Option<u8>) { x.unwrap(); } // lbq-check: allow(float-eq, \"wrong rule\")";
         assert_eq!(rules_hit(LIB, wrong_rule), ["no-unwrap-core"]);
-        let too_far = "// lbq-check: allow(no-unwrap-core)\n\n\
+        let too_far = "// lbq-check: allow(no-unwrap-core) — too far away\n\n\
                        fn f(x: Option<u8>) { x.unwrap(); }";
         assert_eq!(rules_hit(LIB, too_far), ["no-unwrap-core"]);
     }
 
     #[test]
     fn allow_comment_supports_lists() {
-        let src = "// lbq-check: allow(local-epsilon, float-eq)\n\
+        let src = "// lbq-check: allow(local-epsilon, float-eq, \"demonstration\")\n\
                    fn f(a: f64) -> bool { a == 1e-9 }";
         assert!(rules_hit(LIB, src).is_empty());
+    }
+
+    // -------------------------------------------------- allow-reason
+
+    #[test]
+    fn allow_without_reason_is_flagged() {
+        let src = "// lbq-check: allow(no-unwrap-core)\n\
+                   fn f(x: Option<u8>) { x.unwrap(); }";
+        assert_eq!(rules_hit(LIB, src), ["allow-reason"]);
+    }
+
+    #[test]
+    fn allow_reason_accepts_quoted_and_trailing_forms() {
+        let quoted = "// lbq-check: allow(no-unwrap-core, \"invariant: filled by caller\")\n\
+                      fn f(x: Option<u8>) { x.unwrap(); }";
+        assert!(rules_hit(LIB, quoted).is_empty());
+        let trailing = "// lbq-check: allow(no-unwrap-core) — invariant: filled by caller\n\
+                        fn f(x: Option<u8>) { x.unwrap(); }";
+        assert!(rules_hit(LIB, trailing).is_empty());
     }
 
     // -------------------------------------------------- diagnostics
@@ -341,10 +516,22 @@ mod tests {
     }
 
     #[test]
-    fn file_walker_finds_this_file() {
+    fn file_walker_finds_this_file_and_skips_fixtures() {
         let root = Path::new(env!("CARGO_MANIFEST_DIR"));
         let files = workspace_rs_files(root).expect("walk");
         assert!(files.iter().any(|p| p.ends_with("src/lib.rs")));
         assert!(files.iter().any(|p| p.ends_with("src/lexer.rs")));
+        assert!(
+            !files
+                .iter()
+                .any(|p| p.components().any(|c| c.as_os_str() == "fixtures")),
+            "fixture corpus must not be scanned as workspace source"
+        );
+    }
+
+    #[test]
+    fn analyze_source_reports_parse_errors() {
+        let e = analyze_source(LIB, "fn f() {").expect_err("unbalanced");
+        assert!(e.message.contains("unclosed"));
     }
 }

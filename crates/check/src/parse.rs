@@ -1,0 +1,167 @@
+//! Stage 1 of the analyzer: the brace-matched token tree.
+//!
+//! The lexer ([`crate::lexer`]) produces a flat token stream; this
+//! module pairs every `(`/`[`/`{` with its closer, giving downstream
+//! passes O(1) access to the extent of any group — a function body, an
+//! argument list, an attribute. That is all the "parsing" the item
+//! index ([`crate::items`]) and call graph ([`crate::callgraph`]) need:
+//! none of the rules require expression precedence, only *which tokens
+//! live inside which braces*.
+//!
+//! Unbalanced delimiters are a hard error ([`ParseError`]) rather than
+//! a diagnostic: the workspace compiles, so an unbalanced file means
+//! the analyzer (not the code) is confused, and `lbq-check` must exit
+//! with status 2, not report bogus findings.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A lexed file with delimiter pairing and a comment-free view.
+#[derive(Debug)]
+pub struct TokenFile {
+    /// Every token, comments included, in source order.
+    pub tokens: Vec<Token>,
+    /// `pair[i]` is the index of the matching delimiter for an opening
+    /// or closing `(`/`[`/`{`/`)`/`]`/`}` at `i`, `None` otherwise.
+    pub pair: Vec<Option<usize>>,
+    /// Indices into `tokens` of the non-comment tokens, in order.
+    pub code: Vec<usize>,
+}
+
+/// Why a file could not be brace-matched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending delimiter (or the last line for
+    /// end-of-file errors).
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+fn closer_of(open: &str) -> &'static str {
+    match open {
+        "(" => ")",
+        "[" => "]",
+        _ => "}",
+    }
+}
+
+/// Lexes and brace-matches one file.
+pub fn parse(src: &str) -> Result<TokenFile, ParseError> {
+    let tokens = lex(src);
+    let mut pair = vec![None; tokens.len()];
+    let mut code = Vec::with_capacity(tokens.len());
+    // Stack of (index, opener text).
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_comment() {
+            continue;
+        }
+        code.push(i);
+        if t.kind != TokenKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" => stack.push(i),
+            ")" | "]" | "}" => {
+                let Some(open) = stack.pop() else {
+                    return Err(ParseError {
+                        line: t.line,
+                        message: format!("unmatched closing `{}`", t.text),
+                    });
+                };
+                let expected = closer_of(&tokens[open].text);
+                if t.text != expected {
+                    return Err(ParseError {
+                        line: t.line,
+                        message: format!(
+                            "mismatched delimiter: `{}` opened on line {} closed by `{}`",
+                            tokens[open].text, tokens[open].line, t.text
+                        ),
+                    });
+                }
+                pair[open] = Some(i);
+                pair[i] = Some(open);
+            }
+            _ => {}
+        }
+    }
+    if let Some(open) = stack.pop() {
+        return Err(ParseError {
+            line: tokens[open].line,
+            message: format!("unclosed `{}`", tokens[open].text),
+        });
+    }
+    Ok(TokenFile { tokens, pair, code })
+}
+
+impl TokenFile {
+    /// The matching delimiter index for the token at `i`, if it is a
+    /// paired delimiter.
+    pub fn match_of(&self, i: usize) -> Option<usize> {
+        self.pair.get(i).copied().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_nested_groups() {
+        let f = parse("fn f(a: u8) { if a > [1][0] { g(a) } }").expect("balanced");
+        // Every opener pairs with a closer of the right flavor.
+        for (i, t) in f.tokens.iter().enumerate() {
+            if matches!(t.text.as_str(), "(" | "[" | "{") {
+                let j = f.match_of(i).expect("paired");
+                assert_eq!(f.tokens[j].text, closer_of(&t.text));
+                assert_eq!(f.match_of(j), Some(i));
+            }
+        }
+    }
+
+    #[test]
+    fn body_extent_is_recoverable() {
+        let f = parse("fn f() { a(); }\nfn g() {}").expect("balanced");
+        let open = f
+            .tokens
+            .iter()
+            .position(|t| t.text == "{")
+            .expect("open brace");
+        let close = f.match_of(open).expect("paired");
+        let inner: Vec<&str> = f.tokens[open + 1..close]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(inner, ["a", "(", ")", ";"]);
+    }
+
+    #[test]
+    fn delimiters_inside_strings_and_comments_are_inert() {
+        let f = parse("// {\nfn f() { let s = \"(\"; }").expect("balanced");
+        assert!(f.tokens.iter().any(|t| t.kind == TokenKind::Str));
+    }
+
+    #[test]
+    fn unbalanced_is_an_error() {
+        let e = parse("fn f() {").expect_err("unclosed");
+        assert!(e.message.contains("unclosed"));
+        let e = parse("fn f() }").expect_err("unmatched");
+        assert!(e.message.contains("unmatched"));
+        let e = parse("fn f( }").expect_err("mismatched");
+        assert!(e.message.contains("mismatched"));
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn code_view_skips_comments() {
+        let f = parse("// c\nfn /* x */ f() {}").expect("balanced");
+        let texts: Vec<&str> = f.code.iter().map(|&i| f.tokens[i].text.as_str()).collect();
+        assert_eq!(texts, ["fn", "f", "(", ")", "{", "}"]);
+    }
+}

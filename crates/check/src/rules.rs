@@ -1,5 +1,7 @@
-//! The six workspace lint rules, each a pure function over the token
-//! stream of one file.
+//! The per-file lint rules, each a pure function over the token stream
+//! of one file. (The interprocedural rules — `hot-alloc`, `hot-panic`,
+//! `atomic-ordering`, `guard-across-call` — live in
+//! [`crate::interproc`] and run over the whole-workspace call graph.)
 //!
 //! | rule | meaning |
 //! |------|---------|
@@ -9,25 +11,32 @@
 //! | `lossy-cast` | no narrowing `as` casts in `crates/rtree` — use `try_into` or justify |
 //! | `pub-doc` | every `pub fn` / `pub struct` in the doc-mandatory crates carries a doc comment |
 //! | `obs-span-name` | `lbq_obs` span/event/metric names are kebab-case string literals |
+//! | `allow-reason` | every allow directive carries a reason explaining the escape |
 //!
 //! Any finding can be silenced with a justification comment on the same
-//! line or the line directly above:
+//! line or the line directly above. The reason is mandatory — either as
+//! a quoted argument or as trailing text after the closing paren:
 //!
 //! ```text
+//! // lbq-check: allow(local-epsilon, "Box–Muller guard, not a tolerance")
 //! // lbq-check: allow(local-epsilon) — Box–Muller guard, not a tolerance
 //! ```
 
 use crate::lexer::{float_value, is_float_literal, lex, Token, TokenKind};
-use std::collections::HashMap;
 
 /// All rule names, as used in diagnostics and allow comments.
-pub const RULE_NAMES: [&str; 6] = [
+pub const RULE_NAMES: [&str; 11] = [
     "float-eq",
     "local-epsilon",
     "no-unwrap-core",
     "lossy-cast",
     "pub-doc",
     "obs-span-name",
+    "allow-reason",
+    "hot-alloc",
+    "hot-panic",
+    "atomic-ordering",
+    "guard-across-call",
 ];
 
 /// The one module allowed to define epsilons and compare floats exactly.
@@ -65,15 +74,27 @@ impl std::fmt::Display for Diagnostic {
     }
 }
 
-/// Lexes one file and runs every rule that applies to its path.
+/// Lexes one file and runs every per-file rule that applies to its
+/// path, then applies the allow filter.
 /// `path` must be workspace-relative with `/` separators.
 pub fn check_source(path: &str, src: &str) -> Vec<Diagnostic> {
     let tokens = lex(src);
-    let allows = collect_allows(&tokens);
-    let test_from = test_region_start(&tokens);
+    let allows = Allows::collect(&tokens);
+    let mut out = per_file(path, &tokens, &allows);
+    out.retain(|d| !allows.is_allowed(d.rule, d.line));
+    out.sort_by_key(|d| (d.line, d.rule));
+    out
+}
+
+/// Runs every per-file rule that applies to `path` over an
+/// already-lexed token stream. Returns **unfiltered** findings — the
+/// caller applies [`Allows::is_allowed`]; the workspace driver does
+/// this centrally so interprocedural findings share the same filter.
+pub fn per_file(path: &str, tokens: &[Token], allows: &Allows) -> Vec<Diagnostic> {
+    let test_from = test_region_start(tokens);
     let ctx = FileCtx {
         path,
-        tokens: &tokens,
+        tokens,
         test_from,
     };
 
@@ -86,9 +107,7 @@ pub fn check_source(path: &str, src: &str) -> Vec<Diagnostic> {
     lossy_cast(&ctx, &mut out);
     pub_doc(&ctx, &mut out);
     obs_span_name(&ctx, &mut out);
-
-    out.retain(|d| !is_allowed(&allows, d.rule, d.line));
-    out.sort_by_key(|d| d.line);
+    allow_reason(&ctx, allows, &mut out);
     out
 }
 
@@ -123,39 +142,104 @@ impl FileCtx<'_> {
 
 // -------------------------------------------------------- allowlist
 
-/// Extracts `// lbq-check: allow(rule, rule)` directives, keyed by line.
-fn collect_allows(tokens: &[Token]) -> HashMap<u32, Vec<String>> {
-    let mut map: HashMap<u32, Vec<String>> = HashMap::new();
-    for t in tokens {
-        if !t.is_comment() {
-            continue;
-        }
-        let Some(pos) = t.text.find("lbq-check:") else {
-            continue;
-        };
-        let rest = &t.text[pos + "lbq-check:".len()..];
-        let Some(open) = rest.find("allow(") else {
-            continue;
-        };
-        let inner = &rest[open + "allow(".len()..];
-        let Some(close) = inner.find(')') else {
-            continue;
-        };
-        let rules = inner[..close]
-            .split(',')
-            .map(|s| s.trim().to_string())
-            .filter(|s| !s.is_empty());
-        map.entry(t.line).or_default().extend(rules);
-    }
-    map
+/// One `// lbq-check: allow(…)` directive.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// Line the directive comment sits on.
+    pub line: u32,
+    /// Rule names listed inside the parens.
+    pub rules: Vec<String>,
+    /// Whether the directive carries a reason — a quoted argument
+    /// inside the parens or prose after the closing paren.
+    pub has_reason: bool,
 }
 
-/// A finding at `line` is silenced by a directive on that line or the
-/// line directly above.
-fn is_allowed(allows: &HashMap<u32, Vec<String>>, rule: &str, line: u32) -> bool {
-    [line, line.saturating_sub(1)]
-        .iter()
-        .any(|l| allows.get(l).is_some_and(|rs| rs.iter().any(|r| r == rule)))
+/// All allow directives of one file.
+#[derive(Debug, Clone, Default)]
+pub struct Allows {
+    directives: Vec<AllowDirective>,
+}
+
+impl Allows {
+    /// Extracts `// lbq-check: allow(rule, rule, "reason")` directives.
+    pub fn collect(tokens: &[Token]) -> Allows {
+        let mut directives = Vec::new();
+        for t in tokens {
+            if !t.is_comment() {
+                continue;
+            }
+            let Some(pos) = t.text.find("lbq-check:") else {
+                continue;
+            };
+            let rest = &t.text[pos + "lbq-check:".len()..];
+            let Some(open) = rest.find("allow(") else {
+                continue;
+            };
+            let inner = &rest[open + "allow(".len()..];
+            let Some(close) = inner.find(')') else {
+                continue;
+            };
+            let mut rules = Vec::new();
+            let mut has_reason = false;
+            for item in inner[..close].split(',') {
+                let item = item.trim();
+                if item.is_empty() {
+                    continue;
+                }
+                if item.starts_with('"') {
+                    has_reason = true;
+                } else {
+                    rules.push(item.to_string());
+                }
+            }
+            // Trailing prose after the `)` also counts as a reason:
+            // `// lbq-check: allow(rule) — why this is sound`.
+            if inner[close + 1..].chars().any(|c| c.is_alphanumeric()) {
+                has_reason = true;
+            }
+            if !rules.is_empty() {
+                directives.push(AllowDirective {
+                    line: t.line,
+                    rules,
+                    has_reason,
+                });
+            }
+        }
+        Allows { directives }
+    }
+
+    /// A finding at `line` is silenced by a directive on that line or
+    /// the line directly above.
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.directives.iter().any(|d| {
+            (d.line == line || d.line == line.saturating_sub(1))
+                && d.rules.iter().any(|r| r == rule)
+        })
+    }
+
+    /// Directives with no reason (the `allow-reason` rule's input).
+    pub fn reasonless(&self) -> impl Iterator<Item = &AllowDirective> {
+        self.directives.iter().filter(|d| !d.has_reason)
+    }
+}
+
+/// `allow-reason`: every allow directive must explain itself — the
+/// escape hatch is only auditable if each use records *why* the rule
+/// does not apply at that site.
+fn allow_reason(ctx: &FileCtx, allows: &Allows, out: &mut Vec<Diagnostic>) {
+    for d in allows.reasonless() {
+        out.push(Diagnostic {
+            rule: "allow-reason",
+            file: ctx.path.to_string(),
+            line: d.line,
+            message: format!(
+                "allow({}) has no reason; write `// lbq-check: allow({}, \"why\")` \
+                 or append an explanation after the closing paren",
+                d.rules.join(", "),
+                d.rules.join(", "),
+            ),
+        });
+    }
 }
 
 /// Line of the first top-level `#[cfg(test)]` attribute.

@@ -1,0 +1,88 @@
+//! Golden-file corpus for every lint rule.
+//!
+//! Each `tests/fixtures/<rule>/{pos,neg}/` directory is a miniature
+//! workspace (fixture `.rs` files are analyzed, never compiled) with an
+//! `expected.txt` golden listing the findings the analyzer must produce
+//! there — `<rule> <file>:<line>` per line, `#` comments and blank
+//! lines ignored, empty meaning "clean". The `pos` case pins that the
+//! rule still fires on its canonical trigger; the `neg` case pins the
+//! boundary that keeps it quiet (crate scoping, a cold barrier, a
+//! justified allow, a dropped guard).
+//!
+//! The main workspace walk skips directories named `fixtures`, so these
+//! trees are invisible to `lbq-check` runs on the real repo.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn sorted_dirs(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.is_dir())
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn fixture_corpus_matches_goldens() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut cases = 0usize;
+    let mut rules_seen: Vec<String> = Vec::new();
+    for rule_dir in sorted_dirs(&root) {
+        let rule = rule_dir
+            .file_name()
+            .expect("rule dir name")
+            .to_string_lossy()
+            .into_owned();
+        assert!(
+            lbq_check::RULE_NAMES.contains(&rule.as_str()),
+            "fixture dir {rule} is not a known rule"
+        );
+        rules_seen.push(rule.clone());
+        let case_dirs = sorted_dirs(&rule_dir);
+        let names: Vec<_> = case_dirs
+            .iter()
+            .filter_map(|p| p.file_name().map(|n| n.to_string_lossy().into_owned()))
+            .collect();
+        assert_eq!(names, ["neg", "pos"], "{rule} needs exactly pos and neg");
+        for case in case_dirs {
+            let golden = case.join("expected.txt");
+            let mut want: Vec<String> = fs::read_to_string(&golden)
+                .unwrap_or_else(|e| panic!("read {}: {e}", golden.display()))
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(str::to_string)
+                .collect();
+            want.sort();
+            let diags = lbq_check::check_workspace(&case)
+                .unwrap_or_else(|e| panic!("analyze {}: {e}", case.display()));
+            let mut got: Vec<String> = diags
+                .iter()
+                .map(|d| format!("{} {}:{}", d.rule, d.file, d.line))
+                .collect();
+            got.sort();
+            assert_eq!(got, want, "case {}", case.display());
+            // A pos golden must exercise the rule the directory names.
+            if case.ends_with("pos") {
+                assert!(
+                    diags.iter().any(|d| d.rule == rule),
+                    "pos case of {rule} produced no {rule} finding: {diags:?}"
+                );
+            }
+            cases += 1;
+        }
+    }
+    assert_eq!(
+        rules_seen.len(),
+        lbq_check::RULE_NAMES.len(),
+        "every rule needs a fixture pair; missing: {:?}",
+        lbq_check::RULE_NAMES
+            .iter()
+            .filter(|r| !rules_seen.iter().any(|s| s == *r))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(cases, 2 * lbq_check::RULE_NAMES.len());
+}

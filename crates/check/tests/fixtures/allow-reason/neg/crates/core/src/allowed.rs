@@ -1,0 +1,7 @@
+//! Fixture: allow-reason negative case.
+
+/// A justified escape hatch silences both rules.
+pub fn close(a: f64, b: f64) -> bool {
+    // lbq-check: allow(local-epsilon) — deliberate sub-EPS guard, not a tolerance
+    (a - b).abs() < 1e-9
+}

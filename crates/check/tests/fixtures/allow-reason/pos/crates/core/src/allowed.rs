@@ -1,0 +1,7 @@
+//! Fixture: allow-reason positive case.
+
+/// A reasonless escape hatch — the directive itself is the finding.
+pub fn close(a: f64, b: f64) -> bool {
+    // lbq-check: allow(local-epsilon)
+    (a - b).abs() < 1e-9
+}

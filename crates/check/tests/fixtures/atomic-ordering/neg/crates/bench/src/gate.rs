@@ -1,0 +1,16 @@
+//! Fixture: atomic-ordering negative case — a justified allow silences the site.
+
+struct Gate {
+    ready: AtomicBool,
+}
+
+impl Gate {
+    fn publish(&self) {
+        self.ready.store(true, Ordering::Release);
+    }
+
+    fn peek(&self) -> bool {
+        // lbq-check: allow(atomic-ordering) — monitoring probe; staleness is acceptable
+        self.ready.load(Ordering::Relaxed)
+    }
+}

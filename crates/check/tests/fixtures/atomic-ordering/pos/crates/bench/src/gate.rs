@@ -1,0 +1,15 @@
+//! Fixture: atomic-ordering positive case.
+
+struct Gate {
+    ready: AtomicBool,
+}
+
+impl Gate {
+    fn publish(&self) {
+        self.ready.store(true, Ordering::Release);
+    }
+
+    fn peek(&self) -> bool {
+        self.ready.load(Ordering::Relaxed)
+    }
+}

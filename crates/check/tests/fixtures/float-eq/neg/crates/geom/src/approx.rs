@@ -1,0 +1,6 @@
+//! Fixture: float-eq negative case.
+
+/// Tolerance-based comparison keeps the rule quiet.
+pub fn same(a: f64, b: f64) -> bool {
+    (a - b).abs() < 0.5
+}

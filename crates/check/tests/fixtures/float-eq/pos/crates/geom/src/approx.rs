@@ -1,0 +1,6 @@
+//! Fixture: float-eq positive case.
+
+/// Exact float comparison — the thing the rule exists to catch.
+pub fn same(a: f64, b: f64) -> bool {
+    a == 1.0 && b != 2.5
+}

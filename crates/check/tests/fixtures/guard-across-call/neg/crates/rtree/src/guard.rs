@@ -1,0 +1,12 @@
+//! Fixture: guard-across-call negative case — dropping the guard first is fine.
+
+/// Query entry point (hot root).
+pub fn walk_in(depth: usize) -> usize {
+    depth
+}
+
+fn good(m: &std::sync::Mutex<usize>) -> usize {
+    let g = m.lock();
+    drop(g);
+    walk_in(3)
+}

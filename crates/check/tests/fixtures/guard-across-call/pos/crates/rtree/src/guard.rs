@@ -1,0 +1,11 @@
+//! Fixture: guard-across-call positive case.
+
+/// Query entry point (hot root).
+pub fn walk_in(depth: usize) -> usize {
+    depth
+}
+
+fn bad(m: &std::sync::Mutex<usize>) -> usize {
+    let g = m.lock();
+    walk_in(3)
+}

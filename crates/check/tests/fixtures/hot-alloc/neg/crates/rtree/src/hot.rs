@@ -1,0 +1,12 @@
+//! Fixture: hot-alloc negative case — the cold barrier stops propagation.
+
+/// Query entry point; the setup helper it calls is cold.
+pub fn probe_in(depth: usize) -> usize {
+    warm(depth)
+}
+
+// lbq-check: cold — setup-time warm-up, never on the steady-state query path
+fn warm(depth: usize) -> usize {
+    let names: Vec<usize> = Vec::with_capacity(depth);
+    names.len()
+}

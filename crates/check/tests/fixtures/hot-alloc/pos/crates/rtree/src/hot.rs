@@ -1,0 +1,11 @@
+//! Fixture: hot-alloc positive case.
+
+/// Query entry point: `_in` in rtree lib code seeds the hot set.
+pub fn probe_in(depth: usize) -> usize {
+    descend(depth)
+}
+
+fn descend(depth: usize) -> usize {
+    let names: Vec<usize> = Vec::with_capacity(depth);
+    names.len() + depth
+}

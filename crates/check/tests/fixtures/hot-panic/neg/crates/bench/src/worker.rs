@@ -1,0 +1,10 @@
+//! Fixture: hot-panic negative case.
+
+// lbq-check: no-panic — the loop must outlive any single bad job
+fn drain(jobs: &[u8]) -> u8 {
+    step(jobs)
+}
+
+fn step(jobs: &[u8]) -> u8 {
+    jobs.first().copied().unwrap_or(0)
+}

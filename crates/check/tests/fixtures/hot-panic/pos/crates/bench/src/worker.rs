@@ -1,0 +1,10 @@
+//! Fixture: hot-panic positive case.
+
+// lbq-check: no-panic — the loop must outlive any single bad job
+fn drain(jobs: &[u8]) -> u8 {
+    step(jobs)
+}
+
+fn step(jobs: &[u8]) -> u8 {
+    jobs[0]
+}

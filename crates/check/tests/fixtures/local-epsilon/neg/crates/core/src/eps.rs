@@ -1,0 +1,6 @@
+//! Fixture: local-epsilon negative case.
+
+/// A coarse threshold outside the epsilon range is not a tolerance.
+pub fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-3
+}

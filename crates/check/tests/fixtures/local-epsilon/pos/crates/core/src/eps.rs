@@ -1,0 +1,6 @@
+//! Fixture: local-epsilon positive case.
+
+/// A hand-rolled tolerance instead of the shared lbq_geom constants.
+pub fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}

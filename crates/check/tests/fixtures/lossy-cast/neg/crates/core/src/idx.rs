@@ -1,0 +1,5 @@
+//! Fixture: lossy-cast negative case — the rule is scoped to crates/rtree.
+
+fn to_id(i: usize) -> u32 {
+    i as u32
+}

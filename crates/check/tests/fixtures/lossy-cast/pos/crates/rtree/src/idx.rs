@@ -1,0 +1,5 @@
+//! Fixture: lossy-cast positive case.
+
+fn to_id(i: usize) -> u32 {
+    i as u32
+}

@@ -1,0 +1,5 @@
+//! Fixture: no-unwrap-core negative case — bench is not a panic-free crate.
+
+fn first(v: &[u8]) -> u8 {
+    v.first().copied().unwrap()
+}

@@ -1,0 +1,5 @@
+//! Fixture: no-unwrap-core positive case.
+
+fn first(v: &[u8]) -> u8 {
+    v.first().copied().unwrap()
+}

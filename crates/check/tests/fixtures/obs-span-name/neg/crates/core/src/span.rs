@@ -1,0 +1,5 @@
+//! Fixture: obs-span-name negative case.
+
+fn traced() {
+    let _s = lbq_obs::span("query-knn");
+}

@@ -1,0 +1,6 @@
+//! Fixture: obs-span-name positive case.
+
+fn traced(name: &str) {
+    let _s = lbq_obs::span("Query_KNN");
+    let _e = lbq_obs::span(name);
+}

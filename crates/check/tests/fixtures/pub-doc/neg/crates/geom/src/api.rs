@@ -1,0 +1,11 @@
+//! Fixture: pub-doc negative case.
+
+/// Documented function.
+pub fn covered() {}
+
+/// Documented struct.
+pub struct Covered {
+    x: u8,
+}
+
+pub(crate) fn restricted() {}

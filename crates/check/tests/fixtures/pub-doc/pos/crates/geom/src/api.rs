@@ -1,0 +1,10 @@
+//! Fixture: pub-doc positive case.
+
+/// Documented, so the module doc above cannot mask the items below.
+pub fn covered() {}
+
+pub fn naked() {}
+
+pub struct Bare {
+    x: u8,
+}

@@ -155,6 +155,7 @@ impl WindowValidity {
 /// on the scratch-backed view — the owned copy the validator needs is
 /// built only in debug builds, keeping the release hot path
 /// allocation-free.
+// lbq-check: cold — debug_assertions-only; absent from the release builds the zero-alloc proof measures
 #[inline]
 pub(crate) fn debug_validate_nn(validity: &crate::nn::NnValidityRef<'_>, q: Point) {
     #[cfg(debug_assertions)]
@@ -167,6 +168,7 @@ pub(crate) fn debug_validate_nn(validity: &crate::nn::NnValidityRef<'_>, q: Poin
 
 /// Debug-build trap for [`WindowValidity::validate`]; compiled out in
 /// release builds. Called when a window validity structure is built.
+// lbq-check: cold — debug_assertions-only; absent from the release builds the zero-alloc proof measures
 #[inline]
 pub(crate) fn debug_validate_window(validity: &WindowValidity, c: Point) {
     #[cfg(debug_assertions)]

@@ -71,6 +71,13 @@ pub struct LbqServer {
     universe: Rect,
 }
 
+// Compile-time proof that an `Arc<LbqServer>` can fan out across the
+// serve worker pool; a field losing Send or Sync must fail the build.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<LbqServer>();
+};
+
 impl LbqServer {
     /// Wraps an existing tree.
     pub fn new(tree: RTree, universe: Rect) -> Self {

@@ -82,6 +82,7 @@ impl NnValidity {
 
     /// Number of *distinct* influence objects |S_inf| (Figs. 25/26; an
     /// outer object may contribute several pairs when k > 1).
+    // lbq-check: cold — owned-response metric; the hot path uses the scratch-backed NnValidityRef variant
     pub fn influence_count(&self) -> usize {
         let mut ids: Vec<u64> = self.pairs.iter().map(|p| p.outer.id).collect();
         ids.sort_unstable();
@@ -241,6 +242,7 @@ pub fn retrieve_influence_set(
 /// scratch buffers, so in steady state the region hot path performs
 /// zero heap allocations. The returned [`NnValidityRef`] borrows the
 /// scratch; `.to_owned()` it if the region must outlive the next query.
+// lbq-check: hot — static twin of the pr4_bench zero-alloc assertion on this entry point
 pub fn retrieve_influence_set_in<'s>(
     tree: &RTree,
     q: Point,

@@ -67,6 +67,7 @@ impl WindowValidity {
 
     /// Exact area of the validity region — the quantity of the paper's
     /// Figs. 29/30.
+    // lbq-check: cold — owned-response metric computed off the hot path; builds a scratch hole list by design
     pub fn area(&self) -> f64 {
         let holes: Vec<Rect> = self
             .outer_influence

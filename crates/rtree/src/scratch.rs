@@ -175,6 +175,15 @@ pub struct QueryScratch {
     pub(crate) tp_inner_d2: Vec<f64>,
 }
 
+// Compile-time proof that a scratch can be handed to a worker thread:
+// the serve pool owns one per worker for the pool's lifetime, so a
+// field losing Send must fail the build. (Sync holds too — the scratch
+// has no interior mutability — and asserting it keeps the bar high.)
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryScratch>();
+};
+
 impl QueryScratch {
     /// Creates an empty scratch. Buffers grow on first use and are
     /// retained afterwards.

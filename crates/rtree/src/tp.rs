@@ -45,13 +45,11 @@ use std::cmp::Reverse;
 /// Relative slack widening the squared-space radial prune so it is
 /// strictly conservative against the rounding of `r * r`: no child the
 /// exact sqrt-based test would keep is ever dropped.
-// lbq-check: allow(local-epsilon) — prune-widening slack, not a tolerance
-const RADIAL_SLACK: f64 = 1e-12;
+const RADIAL_SLACK: f64 = lbq_geom::EPS_TIGHT;
 
 /// Relative slack widening the capsule interval tests against the
 /// ≲1e-14 rounding of the dot products and the influence-time division.
-// lbq-check: allow(local-epsilon) — prune-widening slack, not a tolerance
-const CAPSULE_SLACK: f64 = 1e-9;
+const CAPSULE_SLACK: f64 = lbq_geom::EPS;
 
 /// The result-changing event found by a TP query.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -932,8 +930,7 @@ fn influence_time_from(
     // `t > lim/(1+PRESCREEN_SLACK)` with margin far beyond the ≤2-ulp
     // rounding of the multiply and divide, so boundary crossings take
     // the exact division path instead.
-    // lbq-check: allow(local-epsilon) — prune-widening slack, not a tolerance
-    const PRESCREEN_SLACK: f64 = 1e-9;
+    const PRESCREEN_SLACK: f64 = lbq_geom::EPS;
     let mut best: Option<(f64, Item)> = None;
     let mut lim = cutoff * (1.0 + PRESCREEN_SLACK);
     for (&o, &od2) in inner.iter().zip(inner_d2) {
@@ -965,7 +962,7 @@ fn influence_time_from(
 fn exact_entry_bound(q: Point, dir: Vec2, mbr: &Rect, inner: &[Item], t_max: f64) -> f64 {
     // Inside the MBR right now → can influence immediately. mindist_sq
     // returns an exact 0.0 for interior points (clamped differences).
-    // lbq-check: allow(float-eq)
+    // lbq-check: allow(float-eq) — comparing against that exact sentinel zero
     if mbr.mindist_sq(q) == 0.0 {
         return 0.0;
     }

@@ -64,6 +64,15 @@ pub struct RTree {
     pub(crate) soa: Option<LeafSoa>,
 }
 
+// Compile-time proof of the sharing contract stated above: an
+// `Arc<RTree>` crosses worker-thread boundaries in lbq-serve, so a
+// field change that loses Send or Sync must fail the build, not a
+// stress test.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RTree>();
+};
+
 impl RTree {
     /// Creates an empty tree.
     pub fn new(config: RTreeConfig) -> Self {
@@ -189,6 +198,10 @@ impl RTree {
     #[inline]
     pub(crate) fn access(&self, node: NodeId) {
         self.stats.node_accesses.fetch_add(1, Ordering::Relaxed);
+        // A stale read only mis-buckets one access — the None arm below
+        // absorbs the race with clear_buffer — while an Acquire here
+        // would tax every query.
+        // lbq-check: allow(atomic-ordering) — deliberately Relaxed; the None arm absorbs the clear_buffer race
         let faulted = if self.buffered.load(Ordering::Relaxed) {
             match self.buf().as_mut() {
                 Some(b) => b.touch(node),
@@ -369,6 +382,7 @@ impl RTree {
     /// Debug-build invariant trap, threaded through the mutation paths
     /// (bulk load, delete, and amortized insert). Compiled out in
     /// release builds.
+    // lbq-check: cold — debug_assertions-only; absent from the release builds the zero-alloc proof measures
     #[inline]
     pub(crate) fn debug_validate(&self) {
         #[cfg(debug_assertions)]

@@ -122,6 +122,17 @@ pub struct RegionCache {
     inserts: AtomicU64,
 }
 
+// Compile-time proof of the sharding story: every worker thread probes
+// the cache concurrently through an `Arc<RegionCache>`, and each shard
+// crosses threads inside its `Mutex` — so both must stay Send + Sync
+// (the shard's `Arc<QueryAnswer>` payloads are the part that could
+// silently regress).
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RegionCache>();
+    assert_send_sync::<Shard>();
+};
+
 impl RegionCache {
     /// Creates an empty cache over `universe` (the lattice spans it).
     pub fn new(universe: Rect, config: CacheConfig) -> Self {

@@ -115,6 +115,14 @@ pub struct Engine {
     tile_occupancy: lbq_obs::Histogram,
 }
 
+// Compile-time proof that the engine can be shared across submitting
+// threads (`Arc<Engine>` is the intended ownership shape); a field
+// losing Send or Sync must fail the build, not a load test.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+};
+
 impl Engine {
     /// Builds an engine over `server` with `config` workers and cache.
     pub fn new(server: Arc<LbqServer>, config: EngineConfig) -> Self {
@@ -218,7 +226,7 @@ impl Engine {
             .drain(..)
             .map(|r| {
                 // Remaining hit zero, so every slot was filled by its worker.
-                // lbq-check: allow(no-unwrap-core)
+                // lbq-check: allow(no-unwrap-core) — AcqRel countdown proves every slot is Some
                 r.expect("batch slot filled once remaining reaches zero")
             })
             .collect();

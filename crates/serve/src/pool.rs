@@ -45,6 +45,15 @@ pub(crate) struct Pool {
     handles: Vec<JoinHandle<()>>,
 }
 
+// Compile-time proof that the pool (and the injector state the workers
+// share) crosses thread boundaries: the engine is held behind an `Arc`
+// by callers that submit from multiple threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Pool>();
+    assert_send_sync::<Shared>();
+};
+
 impl Pool {
     /// Spawns `workers` threads (clamped to ≥ 1).
     pub(crate) fn new(workers: usize) -> Self {
@@ -62,7 +71,7 @@ impl Pool {
                     .spawn(move || worker_loop(&shared, w))
                     // Spawn failure at construction is unrecoverable
                     // resource exhaustion.
-                    // lbq-check: allow(no-unwrap-core)
+                    // lbq-check: allow(no-unwrap-core) — construction-time resource exhaustion; no query in flight
                     .expect("spawning lbq-serve worker thread")
             })
             .collect();
@@ -85,6 +94,8 @@ impl Pool {
     }
 }
 
+// lbq-check: hot — steady-state serve loop; scratch-backed queries must stay allocation-free
+// lbq-check: no-panic — an unwinding worker strands its batch countdown and poisons the job queue
 fn worker_loop(shared: &Shared, worker: usize) {
     // One scratch per worker thread, alive for the pool's lifetime:
     // after the first few jobs warm its buffers, steady-state queries
