@@ -83,6 +83,33 @@ cargo run --release -q -p lbq-bench --bin pr5_bench -- --quick >/dev/null
 echo "== pr5 bench artifact check"
 cargo run --release -q -p lbq-bench --bin pr5_bench -- --check BENCH_PR5.json
 
+echo "== pr7 bench smoke (observability overhead micro-benches)"
+cargo run --release -q -p lbq-bench --bin pr7_bench -- --quick >/dev/null
+
+echo "== pr7 bench artifact check"
+cargo run --release -q -p lbq-bench --bin pr7_bench -- --check BENCH_PR7.json
+
+echo "== pr7 serve smoke (exporter schema + slow-query capture)"
+# A live engine under the snapshot exporter: bit-identical results
+# obs-on vs obs-off, an injected pathological query must be captured,
+# and every exported JSONL line must validate against the v1 schema.
+snap="$(mktemp -u).jsonl"
+cargo run --release -q -p lbq-bench --bin pr7_bench -- --serve-smoke "$snap" >/dev/null
+rm -f "$snap"
+
+echo "== moving_fleet under the snapshot exporter"
+snap="$(mktemp -u).jsonl"
+LBQ_OBS_SNAPSHOT="$snap,200ms" cargo run --release -q -p lbq-serve --example moving_fleet >/dev/null 2>&1
+grep -q '"type":"snapshot"' "$snap" && grep -q '"type":"snapshot-end"' "$snap" || {
+    echo "ci: moving_fleet exported no complete snapshot block to $snap" >&2
+    exit 1
+}
+grep -q '"type":"heatmap"' "$snap" || {
+    echo "ci: moving_fleet snapshots carry no heatmap line" >&2
+    exit 1
+}
+rm -f "$snap"
+
 echo "== moving_client jsonl trace"
 trace="$(mktemp)"
 LBQ_TRACE=jsonl cargo run --release -q -p lbq-core --example moving_client 2>"$trace" >/dev/null

@@ -514,23 +514,10 @@ fn main() {
         report.validity_region_in_steady_allocs
     );
 
-    assert_eq!(
-        report.validity_region_in_steady_allocs, 0,
-        "retrieve_influence_set_in must be allocation-free after warm-up"
-    );
-    if !quick {
-        let serve = report
-            .entries
-            .iter()
-            .find(|e| e.name == "serve_batch")
-            .expect("serve entry present");
-        assert!(
-            serve.speedup() >= 1.3,
-            "tiled+repacked serve_batch must be >= 1.3x faster, got {:.2}x",
-            serve.speedup()
-        );
-    }
-
+    // Write the report before enforcing gates: the artifact must
+    // reflect what was measured even when a gate trips (downstream
+    // harnesses — pr7_bench's overhead ratio — need the same-machine
+    // baseline either way).
     let out = if quick {
         std::path::PathBuf::from("target/BENCH_PR5.quick.json")
     } else {
@@ -545,4 +532,23 @@ fn main() {
     jsonv::validate(&rendered).expect("harness emits valid JSON");
     std::fs::write(&out, rendered).expect("writing bench report");
     println!("wrote {}", out.display());
+
+    assert_eq!(
+        report.validity_region_in_steady_allocs, 0,
+        "retrieve_influence_set_in must be allocation-free after warm-up"
+    );
+    if !quick {
+        let serve = report
+            .entries
+            .iter()
+            .find(|e| e.name == "serve_batch")
+            .expect("serve entry present");
+        assert!(
+            serve.speedup() >= 1.3,
+            "tiled+repacked serve_batch must be >= 1.3x faster, got {:.2}x \
+             (note: the tiling advantage needs multiple cores; single-core \
+             machines land lower)",
+            serve.speedup()
+        );
+    }
 }

@@ -1,0 +1,542 @@
+//! Overhead + smoke harness for the production observability layer
+//! (flight recorder, stage attribution, hot-tile heatmap, snapshot
+//! exporter), emitting machine-readable `BENCH_PR7.json`.
+//!
+//! The contract under test: observability must be *free when off* and
+//! cheap when on. Three measurement groups:
+//!
+//! | group | what |
+//! |---|---|
+//! | `serve` | engine `submit` ns/op with recording off vs armed, plus the off-path compared against the PR 5 `serve_batch` baseline (`vs_pr5 ≤ 1.03`) |
+//! | `micro` | ns/op of the individual primitives: histogram record, disabled stage timer, disabled `record_query`, heatmap record, flight-recorder record |
+//! | equivalence | obs-on responses bit-identical to obs-off |
+//!
+//! Modes:
+//!
+//! * default (full): paper-scale dataset; requires `BENCH_PR5.json` in
+//!   the CWD (regenerate with `pr5_bench` on the same machine — ratios
+//!   across machines are meaningless) and asserts the obs-off serve
+//!   path is within 3% of its `serve_batch` "after" column; writes
+//!   `BENCH_PR7.json`;
+//! * `--quick`: ~10× smaller CI smoke, no baseline gate (CI timing is
+//!   noise), writes `target/BENCH_PR7.quick.json`;
+//! * `--check <file>`: parses an existing report and asserts the
+//!   schema; no benchmarking;
+//! * `--serve-smoke <snapshot.jsonl>`: runs a short recorded workload
+//!   with the exporter armed, injects a slow query, then validates the
+//!   snapshot stream — parseable JSONL, versioned header, per-stage
+//!   histogram metrics, non-empty heatmap, ≥ 1 slow-query capture —
+//!   and proves obs-on answers bit-identical to obs-off.
+
+use lbq_bench::jsonv::{self, Json};
+use lbq_core::LbqServer;
+use lbq_geom::{Point, Rect};
+use lbq_obs::{QueryEvent, QueryKind, RecorderConfig, StageNanos};
+use lbq_rtree::{Item, RTree, RTreeConfig};
+use lbq_serve::{CacheConfig, Engine, EngineConfig, QueryReq};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TILE: usize = 32;
+const VS_PR5_MAX: f64 = 1.03;
+
+fn random_items(n: usize, seed: u64) -> Vec<Item> {
+    let mut rng = lbq_rng::Xoshiro256ss::seed_from_u64(seed);
+    (0..n)
+        .map(|i| Item::new(Point::new(rng.gen_f64(), rng.gen_f64()), i as u64))
+        .collect()
+}
+
+/// Hotspot batches — the same motivating workload `pr5_bench` times, so
+/// the `vs_pr5` ratio compares like against like.
+fn hotspot_points(clusters: usize, per: usize, radius: f64, seed: u64) -> Vec<Point> {
+    let mut rng = lbq_rng::Xoshiro256ss::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(clusters * per);
+    for _ in 0..clusters {
+        let c = Point::new(0.1 + 0.8 * rng.gen_f64(), 0.1 + 0.8 * rng.gen_f64());
+        for _ in 0..per {
+            out.push(Point::new(
+                c.x + radius * (2.0 * rng.gen_f64() - 1.0),
+                c.y + radius * (2.0 * rng.gen_f64() - 1.0),
+            ));
+        }
+    }
+    out
+}
+
+/// Fastest-of-five batches, ns per iteration (see `pr4_bench` for the
+/// noise rationale).
+fn measure<T>(iters: usize, mut f: impl FnMut(usize) -> T) -> f64 {
+    for i in 0..iters.min(16) {
+        black_box(f(i));
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for i in 0..iters {
+            black_box(f(i));
+        }
+        best = best.min(t.elapsed().as_secs_f64() * 1e9);
+    }
+    best / iters as f64
+}
+
+struct MicroEntry {
+    name: &'static str,
+    ns_per_op: f64,
+}
+
+struct Report {
+    mode: &'static str,
+    n: usize,
+    batch: usize,
+    serve_off_ns: f64,
+    serve_on_ns: f64,
+    pr5_after_ns: Option<f64>,
+    micro: Vec<MicroEntry>,
+}
+
+impl Report {
+    fn on_over_off(&self) -> f64 {
+        // lbq-check: allow(local-epsilon) — divide-by-zero floor, not a tolerance
+        self.serve_on_ns / self.serve_off_ns.max(1e-9)
+    }
+
+    fn vs_pr5(&self) -> Option<f64> {
+        // lbq-check: allow(local-epsilon) — divide-by-zero floor, not a tolerance
+        self.pr5_after_ns.map(|b| self.serve_off_ns / b.max(1e-9))
+    }
+}
+
+/// Reads the `serve_batch` "after" column out of a `BENCH_PR5.json`.
+fn pr5_serve_after(path: &str) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let v = jsonv::parse(&text)?;
+    v.get("entries")
+        .and_then(Json::as_arr)
+        .and_then(|entries| {
+            entries
+                .iter()
+                .find(|e| e.get("name").and_then(Json::as_str) == Some("serve_batch"))
+        })
+        .and_then(|e| e.get("after_ns"))
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{path}: no serve_batch entry with after_ns"))
+}
+
+fn run(quick: bool) -> Report {
+    let (n, batch) = if quick {
+        (10_000, 128)
+    } else {
+        (400_000, 1024)
+    };
+    let universe = Rect::new(0.0, 0.0, 1.0, 1.0);
+    let config = RTreeConfig::paper();
+    let k = 10;
+    println!("pr7_bench: n={n}, batch={batch}, tile={TILE}");
+
+    // Same engine shape as pr5_bench's `serve_batch` "after" side:
+    // repacked tree, Hilbert tiles, cache disabled (isolates dispatch +
+    // traversal + instrumentation, not hit rates).
+    let workers = std::thread::available_parallelism().map_or(2, |w| w.get().min(8));
+    let engine = Engine::new(
+        Arc::new(LbqServer::new(
+            RTree::bulk_load_packed(random_items(n, 0xC0FFEE), config),
+            universe,
+        )),
+        EngineConfig {
+            workers,
+            cache: CacheConfig::disabled(),
+            tile_size: TILE,
+        },
+    );
+    let reqs: Vec<QueryReq> = hotspot_points(batch / TILE, TILE, 0.002, 13)
+        .into_iter()
+        .map(|p| QueryReq::knn(p, k))
+        .collect();
+
+    // -- serve: recording off (the always-on production default) -------
+    assert!(!lbq_obs::recording(), "recording must start disabled");
+    let baseline = engine.submit(reqs.clone());
+    let serve_off_ns = measure(8, |_| engine.submit(reqs.clone()).len());
+
+    // -- serve: recording armed ----------------------------------------
+    lbq_obs::init_recorder(RecorderConfig::default());
+    let recorded = engine.submit(reqs.clone());
+    // Equivalence: arming recording changes no answer byte.
+    assert_eq!(baseline.len(), recorded.len());
+    for (i, (b, r)) in baseline.iter().zip(&recorded).enumerate() {
+        assert_eq!(
+            format!("{:?}", b.answer),
+            format!("{:?}", r.answer),
+            "request {i}: recorded response diverged from baseline"
+        );
+    }
+    let serve_on_ns = measure(8, |_| engine.submit(reqs.clone()).len());
+    lbq_obs::set_recording(false);
+
+    // -- micro primitives ----------------------------------------------
+    let mut micro = Vec::new();
+    let iters = 1_000_000usize;
+
+    let h = lbq_obs::histogram("pr7-bench-histogram");
+    micro.push(MicroEntry {
+        name: "histogram_record",
+        ns_per_op: measure(iters, |i| h.record_ns(i as u64)),
+    });
+    micro.push(MicroEntry {
+        name: "stage_timer_disabled",
+        ns_per_op: measure(iters, |_| {
+            let _t = lbq_obs::stage_timer(lbq_obs::Stage::TreeKnn);
+        }),
+    });
+    let ev = QueryEvent {
+        query_id: 1,
+        kind: QueryKind::Knn,
+        k: 10,
+        tier: lbq_obs::CacheTier::Tree,
+        tile: 7,
+        latency_ns: 1_000,
+        node_accesses: 12,
+        page_accesses: 3,
+        stages: StageNanos::default(),
+    };
+    micro.push(MicroEntry {
+        name: "record_query_disabled",
+        ns_per_op: measure(iters, |_| lbq_obs::record_query(&ev)),
+    });
+    let heat = lbq_obs::heatmap("pr7-bench-heat");
+    micro.push(MicroEntry {
+        name: "heatmap_record",
+        ns_per_op: measure(iters, |i| heat.record(i as u32, 100)),
+    });
+    let rec = lbq_obs::recorder().expect("recorder armed above");
+    micro.push(MicroEntry {
+        name: "recorder_record",
+        ns_per_op: measure(iters, |i| {
+            rec.record(&QueryEvent {
+                query_id: i as u64,
+                ..ev
+            })
+        }),
+    });
+
+    Report {
+        mode: if quick { "quick" } else { "full" },
+        n,
+        batch,
+        serve_off_ns,
+        serve_on_ns,
+        // Quick mode runs a 10× smaller dataset than the PR 5 full
+        // report — the ratio would compare different workloads.
+        pr5_after_ns: if quick {
+            None
+        } else {
+            pr5_serve_after("BENCH_PR5.json").ok()
+        },
+        micro,
+    }
+}
+
+fn render_json(r: &Report) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"pr7-observability\",\n");
+    s.push_str(&format!("  \"mode\": \"{}\",\n", r.mode));
+    s.push_str(&format!(
+        "  \"dataset\": {{\"n\": {}, \"batch\": {}, \"tile\": {}}},\n",
+        r.n, r.batch, TILE
+    ));
+    s.push_str(&format!(
+        "  \"serve\": {{\"obs_off_ns\": {:.1}, \"obs_on_ns\": {:.1}, \"on_over_off\": {:.4}, ",
+        r.serve_off_ns,
+        r.serve_on_ns,
+        r.on_over_off()
+    ));
+    match (r.pr5_after_ns, r.vs_pr5()) {
+        (Some(b), Some(ratio)) => s.push_str(&format!(
+            "\"pr5_serve_after_ns\": {b:.1}, \"vs_pr5\": {ratio:.4}}},\n"
+        )),
+        _ => s.push_str("\"pr5_serve_after_ns\": null, \"vs_pr5\": null},\n"),
+    }
+    s.push_str("  \"micro\": [\n");
+    for (i, e) in r.micro.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_op\": {:.2}}}{}\n",
+            e.name,
+            e.ns_per_op,
+            if i + 1 < r.micro.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"gate\": {{\"vs_pr5_max\": {VS_PR5_MAX}, \"enforced\": {}}},\n",
+        r.mode == "full"
+    ));
+    s.push_str("  \"equivalence\": {\"obs_on_vs_off\": \"bit-identical\"}\n");
+    s.push_str("}\n");
+    s
+}
+
+/// `--check`: the report must be valid JSON with the serve block, all
+/// five micro entries, and the equivalence stamp.
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let v = jsonv::parse(&text)?;
+    if v.get("bench").and_then(Json::as_str) != Some("pr7-observability") {
+        return Err("not a pr7-observability report".into());
+    }
+    let serve = v.get("serve").ok_or("missing serve block")?;
+    for field in ["obs_off_ns", "obs_on_ns", "on_over_off"] {
+        if serve.get(field).and_then(Json::as_f64).is_none() {
+            return Err(format!("serve block missing numeric field {field:?}"));
+        }
+    }
+    let micro = v
+        .get("micro")
+        .and_then(Json::as_arr)
+        .ok_or("missing micro array")?;
+    for name in [
+        "histogram_record",
+        "stage_timer_disabled",
+        "record_query_disabled",
+        "heatmap_record",
+        "recorder_record",
+    ] {
+        if !micro
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some(name))
+        {
+            return Err(format!("missing micro entry {name:?}"));
+        }
+    }
+    if v.get("equivalence")
+        .and_then(|e| e.get("obs_on_vs_off"))
+        .is_none()
+    {
+        return Err("missing equivalence stamp".into());
+    }
+    println!("pr7_bench --check {path}: ok (serve block, 5 micro entries)");
+    Ok(())
+}
+
+/// `--serve-smoke`: exporter + recorder end to end — see the module
+/// docs. Panics (non-zero exit) on any violated expectation.
+fn serve_smoke(snapshot_path: &str) {
+    let universe = Rect::new(0.0, 0.0, 1.0, 1.0);
+    let server = Arc::new(LbqServer::new(
+        RTree::bulk_load_packed(random_items(20_000, 0xFEED), RTreeConfig::paper()),
+        universe,
+    ));
+    let reqs: Vec<QueryReq> = hotspot_points(8, TILE, 0.002, 29)
+        .into_iter()
+        .map(|p| QueryReq::knn(p, 8))
+        .collect();
+
+    // Obs-off baseline on an identical engine (cache disabled keeps
+    // every answer deterministic for the byte comparison).
+    let mk = |server: &Arc<LbqServer>| {
+        Engine::new(
+            Arc::clone(server),
+            EngineConfig {
+                workers: 4,
+                cache: CacheConfig::disabled(),
+                tile_size: TILE,
+            },
+        )
+    };
+    let baseline: Vec<String> = mk(&server)
+        .submit(reqs.clone())
+        .iter()
+        .map(|r| format!("{:?}", r.answer))
+        .collect();
+
+    // Arm recording + exporter. An aggressive slow config so the
+    // injected slow query is captured deterministically: threshold re-
+    // arms right at the rolling p99 after a short warmup.
+    lbq_obs::init_recorder(RecorderConfig {
+        capacity: 512,
+        slow_min_samples: 64,
+        slow_multiplier: 1,
+        slow_floor_ns: 0,
+    });
+    let exporter = lbq_obs::install_exporter(
+        std::path::Path::new(snapshot_path),
+        Duration::from_millis(40),
+    )
+    .expect("open snapshot sink");
+
+    let engine = mk(&server);
+    // Warmup: enough cheap queries to pass slow_min_samples and settle
+    // the p99 threshold.
+    for _ in 0..4 {
+        let got: Vec<String> = engine
+            .submit(reqs.clone())
+            .iter()
+            .map(|r| format!("{:?}", r.answer))
+            .collect();
+        assert_eq!(baseline, got, "recorded answers diverged from obs-off");
+    }
+    // The injected slow query: a k three orders of magnitude above the
+    // warmup workload's — its latency dwarfs the cheap-query p99.
+    let slow = engine.submit(vec![QueryReq::knn(Point::new(0.5, 0.5), 4_000)]);
+    assert_eq!(slow.len(), 1);
+    // Let at least two export periods elapse while queries still flow.
+    let t0 = Instant::now();
+    while t0.elapsed() < Duration::from_millis(100) {
+        black_box(engine.submit(reqs[..TILE].to_vec()));
+    }
+    let rec = lbq_obs::recorder().expect("recorder armed");
+    let stats = rec.stats();
+    assert!(
+        stats.slow_captured >= 1,
+        "injected slow query was not captured (threshold {} ns, p99 {} ns)",
+        stats.threshold_ns,
+        stats.latency.p99_ns
+    );
+    drop(exporter); // final snapshot flushes on shutdown
+
+    // -- validate the snapshot stream ----------------------------------
+    let text = std::fs::read_to_string(snapshot_path).expect("read snapshot file");
+    let mut snapshots = 0u64;
+    let mut trailers = 0u64;
+    let mut stage_metrics = 0u64;
+    let mut heat_tiles = 0u64;
+    let mut recorder_lines = 0u64;
+    let mut slow_lines = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        let v = jsonv::parse(line)
+            .unwrap_or_else(|e| panic!("snapshot line {} unparseable: {e}", lineno + 1));
+        match v.get("type").and_then(Json::as_str) {
+            Some("snapshot") => {
+                snapshots += 1;
+                assert_eq!(
+                    v.get("version").and_then(Json::as_f64),
+                    Some(lbq_obs::SNAPSHOT_VERSION as f64),
+                    "line {}: bad snapshot version",
+                    lineno + 1
+                );
+                assert!(v.get("unix-ms").and_then(Json::as_f64).is_some());
+            }
+            Some("metric") => {
+                let name = v.get("name").and_then(Json::as_str).unwrap_or_default();
+                if name.starts_with("stage-") {
+                    stage_metrics += 1;
+                    assert!(v.get("count").and_then(Json::as_f64).is_some());
+                    assert!(v.get("p99-ns").and_then(Json::as_f64).is_some());
+                }
+            }
+            Some("heatmap") => {
+                let tiles = v.get("tiles").and_then(Json::as_arr).map_or(0, <[_]>::len);
+                heat_tiles += tiles as u64;
+            }
+            Some("recorder") => {
+                recorder_lines += 1;
+                assert!(v.get("slow-captured").and_then(Json::as_f64).is_some());
+            }
+            Some("slow-query") => {
+                slow_lines += 1;
+                assert!(v.get("latency-ns").and_then(Json::as_f64).is_some());
+            }
+            Some("snapshot-end") => trailers += 1,
+            other => panic!("line {}: unknown record type {other:?}", lineno + 1),
+        }
+    }
+    assert!(
+        snapshots >= 2,
+        "expected periodic snapshots, got {snapshots}"
+    );
+    assert_eq!(snapshots, trailers, "unbalanced snapshot/trailer lines");
+    assert!(
+        stage_metrics >= 1,
+        "no per-stage histogram metrics exported"
+    );
+    assert!(heat_tiles >= 1, "exported heatmap is empty");
+    assert!(recorder_lines >= 1, "no recorder stats exported");
+    assert!(slow_lines >= 1, "no slow-query capture exported");
+    println!(
+        "pr7_bench --serve-smoke: ok ({snapshots} snapshots, {stage_metrics} stage metrics, \
+         {heat_tiles} heat tiles, {} slow captures)",
+        stats.slow_captured
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--check") {
+        let path = args
+            .get(pos + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_PR7.json");
+        if let Err(e) = check(path) {
+            eprintln!("pr7_bench --check failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--serve-smoke") {
+        let path = args
+            .get(pos + 1)
+            .map(String::as_str)
+            .unwrap_or("target/pr7_smoke.jsonl");
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+        }
+        serve_smoke(path);
+        return;
+    }
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let report = run(quick);
+
+    println!(
+        "serve_batch        obs-off {:>10.0} ns/op   obs-on {:>10.0} ns/op   on/off {:.3}",
+        report.serve_off_ns,
+        report.serve_on_ns,
+        report.on_over_off()
+    );
+    for e in &report.micro {
+        println!("{:<22} {:>8.2} ns/op", e.name, e.ns_per_op);
+    }
+    match (report.pr5_after_ns, report.vs_pr5()) {
+        (Some(b), Some(ratio)) => {
+            println!(
+                "vs_pr5: obs-off {:.0} / pr5 {b:.0} = {ratio:.4}",
+                report.serve_off_ns
+            );
+            if !quick {
+                assert!(
+                    ratio <= VS_PR5_MAX,
+                    "obs-disabled serve path regressed {ratio:.4}x vs PR 5 baseline \
+                     (max {VS_PR5_MAX}); regenerate BENCH_PR5.json on this machine first"
+                );
+            }
+        }
+        _ if !quick => {
+            eprintln!(
+                "pr7_bench: BENCH_PR5.json not found in CWD — run pr5_bench first \
+                 so the 3% overhead gate has a same-machine baseline"
+            );
+            std::process::exit(1);
+        }
+        _ => println!("vs_pr5: skipped (no BENCH_PR5.json; quick mode)"),
+    }
+
+    let out = if quick {
+        std::path::PathBuf::from("target/BENCH_PR7.quick.json")
+    } else {
+        std::path::PathBuf::from("BENCH_PR7.json")
+    };
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    let rendered = render_json(&report);
+    jsonv::validate(&rendered).expect("harness emits valid JSON");
+    std::fs::write(&out, rendered).expect("writing bench report");
+    println!("wrote {}", out.display());
+}

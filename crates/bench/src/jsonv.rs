@@ -1,8 +1,10 @@
-//! Minimal JSON validation for benchmark reports: a recursive-descent
-//! skim that accepts exactly the JSON grammar (objects, arrays, strings
-//! with escapes, numbers, literals) — enough for the `--check` modes of
-//! the `pr4_bench` / `pr5_bench` binaries to reject truncated or
-//! hand-mangled reports without an external parser.
+//! Minimal JSON handling for benchmark reports: a recursive-descent
+//! skim ([`validate`]) that accepts exactly the JSON grammar (objects,
+//! arrays, strings with escapes, numbers, literals), and a value parser
+//! ([`parse`]) building a [`Json`] tree — enough for the `--check` and
+//! smoke modes of the `pr4_bench` / `pr5_bench` / `pr7_bench` binaries
+//! to inspect reports and exporter snapshots without an external
+//! parser.
 
 /// Validates that `s` is one complete JSON value with no trailing
 /// bytes. Returns the offset and nature of the first violation.
@@ -16,6 +18,188 @@ pub fn validate(s: &str) -> Result<(), String> {
         return Err(format!("trailing bytes at offset {i}"));
     }
     Ok(())
+}
+
+/// A parsed JSON value. Object keys keep insertion order (reports are
+/// small; no map needed).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number, as `f64`.
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field by key (`None` on non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `s` as one complete JSON value (no trailing bytes).
+pub fn parse(s: &str) -> Result<Json, String> {
+    let b = s.as_bytes();
+    let mut i = 0;
+    skip_ws(b, &mut i);
+    let v = parse_value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing bytes at offset {i}"));
+    }
+    Ok(v)
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    match b.get(*i) {
+        Some(b'{') => {
+            let mut fields = Vec::new();
+            *i += 1;
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, i);
+                let key = parse_string(b, i)?;
+                skip_ws(b, i);
+                if b.get(*i) != Some(&b':') {
+                    return Err(format!("expected ':' at offset {i}"));
+                }
+                *i += 1;
+                skip_ws(b, i);
+                fields.push((key, parse_value(b, i)?));
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b'}') => {
+                        *i += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    other => return Err(format!("expected ',' or '}}', got {other:?} at {i}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            let mut items = Vec::new();
+            *i += 1;
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                skip_ws(b, i);
+                items.push(parse_value(b, i)?);
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b']') => {
+                        *i += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    other => return Err(format!("expected ',' or ']', got {other:?} at {i}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, i).map(Json::Str),
+        Some(b't') => literal(b, i, b"true").map(|()| Json::Bool(true)),
+        Some(b'f') => literal(b, i, b"false").map(|()| Json::Bool(false)),
+        Some(b'n') => literal(b, i, b"null").map(|()| Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *i;
+            number(b, i)?;
+            std::str::from_utf8(&b[start..*i])
+                .ok()
+                .and_then(|t| t.parse::<f64>().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("bad number at offset {start}"))
+        }
+        other => Err(format!("unexpected {other:?} at offset {i}")),
+    }
+}
+
+fn parse_string(b: &[u8], i: &mut usize) -> Result<String, String> {
+    if b.get(*i) != Some(&b'"') {
+        return Err(format!("expected string at offset {i}"));
+    }
+    *i += 1;
+    let mut out = Vec::new();
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return String::from_utf8(out).map_err(|e| format!("bad utf8 in string: {e}"));
+            }
+            b'\\' => {
+                let esc = b.get(*i + 1).copied();
+                *i += 2;
+                match esc {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'/') => out.push(b'/'),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b'b') => out.push(0x08),
+                    Some(b'f') => out.push(0x0C),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*i..*i + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at offset {i}"))?;
+                        *i += 4;
+                        let ch = char::from_u32(hex).unwrap_or(char::REPLACEMENT_CHARACTER);
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+            }
+            _ => {
+                out.push(c);
+                *i += 1;
+            }
+        }
+    }
+    Err("unterminated string".into())
 }
 
 fn skip_ws(b: &[u8], i: &mut usize) {
@@ -133,7 +317,29 @@ fn literal(b: &[u8], i: &mut usize, lit: &[u8]) -> Result<(), String> {
 
 #[cfg(test)]
 mod tests {
-    use super::validate;
+    use super::{parse, validate, Json};
+
+    #[test]
+    fn parses_values_and_fields() {
+        let v = parse(r#"{"a": 1.5, "b": [true, null, "x\n\u0041"], "c": {"d": -2}}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_f64), Some(1.5));
+        let b = v.get("b").and_then(Json::as_arr).unwrap();
+        assert_eq!(b[0], Json::Bool(true));
+        assert_eq!(b[1], Json::Null);
+        assert_eq!(b[2].as_str(), Some("x\nA"));
+        assert_eq!(
+            v.get("c").and_then(|c| c.get("d")).and_then(Json::as_f64),
+            Some(-2.0)
+        );
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in ["{", "[1 2]", "\"\\u00G1\"", "{\"a\":1} x", ""] {
+            assert!(parse(bad).is_err(), "parsed {bad:?}");
+        }
+    }
 
     #[test]
     fn accepts_report_shaped_json() {

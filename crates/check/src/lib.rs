@@ -416,6 +416,18 @@ mod tests {
             rules_hit(LIB, "fn f() { lbq_obs::event(concat!(\"a\", \"b\")); }"),
             ["obs-span-name"]
         );
+        // The v2 observability registries are named the same way.
+        assert_eq!(
+            rules_hit(LIB, "fn f() { let _h = lbq_obs::heatmap(\"HotTiles\"); }"),
+            ["obs-span-name"]
+        );
+        assert_eq!(
+            rules_hit(
+                LIB,
+                "fn f(k: &'static str) { lbq_obs::snapshot_field(k, 1u64); }"
+            ),
+            ["obs-span-name"]
+        );
     }
 
     #[test]
@@ -429,6 +441,16 @@ mod tests {
         assert!(rules_hit(
             LIB,
             "fn f() { lbq_obs::event_with(\"tpnn-iteration\", []); }"
+        )
+        .is_empty());
+        assert!(rules_hit(
+            LIB,
+            "fn f() { let _h = lbq_obs::heatmap(\"serve-tile-heat\"); }"
+        )
+        .is_empty());
+        assert!(rules_hit(
+            LIB,
+            "fn f() { lbq_obs::snapshot_field(\"serve-config-workers\", 4u64); }"
         )
         .is_empty());
         // `use lbq_obs as obs` call sites are covered too.

@@ -10,7 +10,7 @@
 //! | `no-unwrap-core` | no `.unwrap()` / `.expect()` / `panic!` in library code of the core crates |
 //! | `lossy-cast` | no narrowing `as` casts in `crates/rtree` — use `try_into` or justify |
 //! | `pub-doc` | every `pub fn` / `pub struct` in the doc-mandatory crates carries a doc comment |
-//! | `obs-span-name` | `lbq_obs` span/event/metric names are kebab-case string literals |
+//! | `obs-span-name` | `lbq_obs` span/event/metric/heatmap/snapshot-field names are kebab-case string literals |
 //! | `allow-reason` | every allow directive carries a reason explaining the escape |
 //!
 //! Any finding can be silenced with a justification comment on the same
@@ -449,8 +449,9 @@ fn pub_doc(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
 }
 
 /// `obs-span-name`: the name argument of `lbq_obs::span` /
-/// `event` / `event_with` / `counter` / `gauge` / `histogram` must be a
-/// kebab-case string literal, so trace and metric names stay greppable,
+/// `event` / `event_with` / `counter` / `gauge` / `histogram` /
+/// `heatmap` / `snapshot_field` must be a kebab-case string literal, so
+/// trace, metric, heatmap, and snapshot-field names stay greppable,
 /// stable, and collision-free across the workspace. The obs crate
 /// itself (whose tests exercise the machinery with throwaway names) is
 /// exempt.
@@ -458,13 +459,15 @@ fn obs_span_name(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
     if ctx.path.starts_with("crates/obs/") {
         return;
     }
-    const NAMED_FNS: [&str; 6] = [
+    const NAMED_FNS: [&str; 8] = [
         "span",
         "event",
         "event_with",
         "counter",
         "gauge",
         "histogram",
+        "heatmap",
+        "snapshot_field",
     ];
     let code: Vec<&Token> = ctx.tokens.iter().filter(|t| !t.is_comment()).collect();
     for (i, tok) in code.iter().enumerate() {

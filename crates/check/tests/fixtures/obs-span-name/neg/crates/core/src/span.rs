@@ -2,4 +2,6 @@
 
 fn traced() {
     let _s = lbq_obs::span("query-knn");
+    let _h = lbq_obs::heatmap("serve-tile-heat");
+    lbq_obs::snapshot_field("serve-config-workers", 4u64);
 }

@@ -3,4 +3,6 @@
 fn traced(name: &str) {
     let _s = lbq_obs::span("Query_KNN");
     let _e = lbq_obs::span(name);
+    let _h = lbq_obs::heatmap("HotTiles");
+    lbq_obs::snapshot_field(name, 1u64);
 }

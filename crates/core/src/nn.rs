@@ -324,6 +324,7 @@ pub fn retrieve_influence_set_in<'s>(
                     // the vertex lies (numerically) on that bisector.
                     vertices[idx].1 = true;
                 } else {
+                    let _clip = lbq_obs::stage_timer(lbq_obs::Stage::Clip);
                     let pair = InfluencePair {
                         inner: ev.partner,
                         outer: ev.object,
@@ -486,6 +487,7 @@ pub fn retrieve_influence_set_group(
                     if known {
                         st.vertices[idx].1 = true;
                     } else {
+                        let _clip = lbq_obs::stage_timer(lbq_obs::Stage::Clip);
                         let pair = InfluencePair {
                             inner: ev.partner,
                             outer: ev.object,

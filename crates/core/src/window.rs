@@ -121,6 +121,7 @@ pub fn window_with_validity_in(
     scratch: &mut QueryScratch,
 ) -> WindowResponse {
     assert!(hx > 0.0 && hy > 0.0, "window extents must be positive");
+    let _stage = lbq_obs::stage_timer(lbq_obs::Stage::WindowPass);
     let window = Rect::centered(c, hx, hy);
     // Query 1: the result itself. Copied out of the scratch because the
     // second (extended-window) query reuses the same buffers.

@@ -15,8 +15,23 @@
 //!   subscriber installed every entry point is one relaxed atomic
 //!   load — no clocks, no allocation.
 //! - **Metrics** ([`counter`], [`gauge`], [`histogram`]): a named
-//!   registry of lock-free handles; histograms give p50/p95/p99
-//!   summaries from power-of-two buckets.
+//!   registry of lock-free handles (with per-thread lookup caches);
+//!   histograms give p50/p95/p99 summaries from log-linear buckets
+//!   (4 sub-buckets per octave, ≤ +25% quantile error).
+//! - **Per-query attribution** ([`stage_timer`], [`take_stages`]):
+//!   thread-local stage clocks bracketing each pipeline stage
+//!   (cache lookup, tree kNN, group kNN, TPNN chain, clip, window),
+//!   harvested per query into a [`StageNanos`] breakdown.
+//! - **Flight recorder** ([`init_recorder`], [`record_query`]): a
+//!   lock-free ring of recent [`QueryEvent`]s with automatic
+//!   slow-query capture against a rolling p99 threshold.
+//! - **Heatmaps** ([`heatmap()`]): per-Hilbert-tile hit/latency
+//!   counters in flat atomic arrays — the traffic-concentration
+//!   signal.
+//! - **Snapshot exporter** ([`install_exporter_from_env`],
+//!   [`render_snapshot`]): a background thread appending versioned
+//!   JSONL snapshots of all of the above to a file on an interval
+//!   (`LBQ_OBS_SNAPSHOT=path,period`).
 //! - **Allocation counting** ([`note_alloc`], [`alloc_count`],
 //!   [`publish_alloc_gauge`]): a bare-atomic hook for counting global
 //!   allocators (registry metrics allocate on first lookup, so the hot
@@ -48,17 +63,36 @@
 //! ```
 
 pub mod alloc;
+pub mod export;
+pub mod heatmap;
 pub mod metrics;
+pub mod recorder;
 pub mod report;
+pub mod stage;
 pub mod subscriber;
 pub mod trace;
 
 pub use alloc::{alloc_count, note_alloc, publish_alloc_gauge};
+pub use export::{
+    install_exporter, install_exporter_from_env, render_snapshot, snapshot_field, Exporter,
+    SNAPSHOT_VERSION,
+};
+pub use heatmap::{
+    heatmap, heatmaps_snapshot, Heatmap, TileStat, HEATMAP_SLOTS, HEATMAP_TILE_BITS,
+};
 pub use metrics::{
     counter, gauge, histogram, metrics_snapshot, reset_metrics, Counter, Gauge, Histogram,
-    HistogramSummary, MetricValue,
+    HistogramSummary, MetricValue, HISTOGRAM_BUCKETS, HISTOGRAM_SUB_BUCKETS,
+};
+pub use recorder::{
+    init_recorder, record_query, recorder, CacheTier, FlightRecorder, QueryEvent, QueryKind,
+    RecorderConfig, RecorderStats, SlowCapture,
 };
 pub use report::{fmt_ns, print_metrics, render_metrics, ProfileTable, PROFILE_HEADER};
+pub use stage::{
+    record_stage_histograms, recording, set_recording, stage_histograms, stage_timer, take_stages,
+    Stage, StageNanos, StageTimer, STAGE_COUNT, STAGE_NAMES,
+};
 pub use subscriber::{
     flush, install, install_from_env, uninstall, JsonLinesSubscriber, RingBufferSubscriber,
     Subscriber, TextSubscriber, TraceRecord,

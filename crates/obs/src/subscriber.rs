@@ -266,7 +266,8 @@ impl JsonLinesSubscriber {
 }
 
 /// Escapes `s` into `buf` as JSON string contents (no quotes).
-fn json_escape(buf: &mut String, s: &str) {
+/// Shared with the snapshot exporter (`crate::export`).
+pub(crate) fn json_escape(buf: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => buf.push_str("\\\""),
@@ -283,7 +284,7 @@ fn json_escape(buf: &mut String, s: &str) {
     }
 }
 
-fn json_value(buf: &mut String, v: &Value) {
+pub(crate) fn json_value(buf: &mut String, v: &Value) {
     use std::fmt::Write as _;
     match v {
         Value::U64(n) => {

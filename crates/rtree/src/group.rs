@@ -64,6 +64,7 @@ impl RTree {
         k: usize,
         scratch: &'s mut QueryScratch,
     ) -> &'s [(Item, f64)] {
+        let _stage = lbq_obs::stage_timer(lbq_obs::Stage::GroupKnn);
         let mut span = lbq_obs::span("rtree-knn-group");
         let before = self.stats();
         let mut probe = QueryProbe::default();

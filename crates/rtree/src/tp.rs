@@ -196,6 +196,7 @@ impl RTree {
         bound: TpBound,
         scratch: &mut QueryScratch,
     ) -> Option<TpEvent> {
+        let _stage = lbq_obs::stage_timer(lbq_obs::Stage::TpnnChain);
         let mut span = lbq_obs::span("rtree-tpnn");
         let before = self.stats();
         let mut probe = QueryProbe::default();
@@ -447,6 +448,7 @@ impl RTree {
         scratch: &mut QueryScratch,
         out: &mut Vec<Option<TpEvent>>,
     ) {
+        let _stage = lbq_obs::stage_timer(lbq_obs::Stage::TpnnChain);
         out.clear();
         out.resize(probes.len(), None);
         let mut start = 0;

@@ -25,9 +25,9 @@ use crate::pool::{Job, Pool};
 use crate::{answer_on_with, QueryAnswer, QueryReq, QueryResp};
 use lbq_core::LbqServer;
 use lbq_geom::Point;
-use lbq_obs::HistogramSummary;
-use lbq_rtree::hilbert::hilbert_key;
-use lbq_rtree::{Item, QueryScratch};
+use lbq_obs::{CacheTier, HistogramSummary, QueryEvent, QueryKind, StageNanos};
+use lbq_rtree::hilbert::{hilbert_key, KEY_ORDER};
+use lbq_rtree::{Item, QueryScratch, Stats};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
@@ -113,6 +113,12 @@ pub struct Engine {
     batch_latency: lbq_obs::Histogram,
     tile_size: usize,
     tile_occupancy: lbq_obs::Histogram,
+    /// Monotonic id source: `submit` claims one id per request, in
+    /// request order, so ids are stable across tiling and scheduling.
+    next_query_id: AtomicU64,
+    /// Per-Hilbert-tile hit/latency counters (`serve-tile-heat`),
+    /// fed on the recording path only.
+    heat: lbq_obs::Heatmap,
 }
 
 // Compile-time proof that the engine can be shared across submitting
@@ -133,6 +139,9 @@ impl Engine {
                 .collect::<Vec<_>>(),
         );
         let cache = Arc::new(RegionCache::new(server.universe(), config.cache));
+        // Static engine geometry, stamped onto exporter snapshots.
+        lbq_obs::snapshot_field("serve-config-workers", pool.workers());
+        lbq_obs::snapshot_field("serve-config-tile-size", config.tile_size.max(1));
         Engine {
             server,
             cache,
@@ -141,6 +150,8 @@ impl Engine {
             batch_latency: lbq_obs::histogram("serve-query-latency"),
             tile_size: config.tile_size.max(1),
             tile_occupancy: lbq_obs::histogram("serve-tile-size"),
+            next_query_id: AtomicU64::new(0),
+            heat: lbq_obs::heatmap("serve-tile-heat"),
         }
     }
 
@@ -196,6 +207,10 @@ impl Engine {
             let universe = self.server.universe();
             order.sort_by_key(|&i| hilbert_key(reqs[i].focus(), &universe));
         }
+        // One id per request, claimed in request order: response i of
+        // this batch reports `first_id + i` no matter how the tiling
+        // permutes or which worker serves it.
+        let first_id = self.next_query_id.fetch_add(n as u64, Ordering::Relaxed);
         let jobs: Vec<Job> = order
             .chunks(self.tile_size)
             .map(|tile_idxs| {
@@ -207,6 +222,8 @@ impl Engine {
                     batch: Arc::clone(&batch),
                     latency: self.batch_latency.clone(),
                     occupancy: self.tile_occupancy.clone(),
+                    first_id,
+                    heat: self.heat.clone(),
                 };
                 Box::new(move |worker: usize, scratch: &mut QueryScratch| {
                     job.run(worker, scratch);
@@ -271,6 +288,31 @@ impl Engine {
         }
         t
     }
+
+    /// Renders the aggregate per-stage latency table — the `stage-*`
+    /// histograms fed by per-query attribution. All counts stay zero
+    /// until recording is armed ([`lbq_obs::init_recorder`]).
+    pub fn stage_table(&self) -> lbq_obs::ProfileTable {
+        let mut t = lbq_obs::ProfileTable::new(
+            "lbq-serve stages",
+            &["stage", "count", "p50", "p95", "p99", "mean"],
+        );
+        for (name, h) in lbq_obs::STAGE_NAMES
+            .iter()
+            .zip(lbq_obs::stage_histograms().iter())
+        {
+            let s = h.summary();
+            t.row(&[
+                (*name).to_string(),
+                s.count.to_string(),
+                lbq_obs::fmt_ns(s.p50_ns),
+                lbq_obs::fmt_ns(s.p95_ns),
+                lbq_obs::fmt_ns(s.p99_ns),
+                lbq_obs::fmt_ns(s.mean_ns),
+            ]);
+        }
+        t
+    }
 }
 
 /// One pool job: a Hilbert-adjacent tile of queries served on one
@@ -286,6 +328,25 @@ struct TileJob {
     batch: Arc<Batch>,
     latency: lbq_obs::Histogram,
     occupancy: lbq_obs::Histogram,
+    /// Query id of the batch's first request (`id = first_id + idx`).
+    first_id: u64,
+    /// The engine's hot-tile heatmap, fed on the recording path.
+    heat: lbq_obs::Heatmap,
+}
+
+/// Recording-path context for one response: everything `respond` needs
+/// to stamp a [`QueryEvent`] into the flight recorder and heatmap.
+/// `None` whenever recording is off, so the disabled path builds
+/// nothing.
+struct Attribution {
+    req: QueryReq,
+    tier: CacheTier,
+    stages: StageNanos,
+    /// Tree accesses attributed to this query. Deltas of the tree's
+    /// process-wide counters, so concurrent workers can bleed into
+    /// each other's deltas — per-query values are best-effort;
+    /// aggregates are exact.
+    accesses: Stats,
 }
 
 impl TileJob {
@@ -315,22 +376,63 @@ impl TileJob {
     /// Answers every query of the tile, returning `(original index,
     /// response)` pairs.
     fn serve(&self, worker: usize, scratch: &mut QueryScratch) -> Vec<(usize, QueryResp)> {
+        let recording = lbq_obs::recording();
+        if recording {
+            // Discard stage time stranded on this thread by a
+            // mid-flight recording toggle.
+            let _ = lbq_obs::take_stages();
+        }
         let mut out: Vec<(usize, QueryResp)> = Vec::with_capacity(self.tile.len());
         // Cache probes and window misses resolve in place; kNN misses
-        // are deferred so the tile can answer them as a group.
-        let mut knn_miss: Vec<(usize, Point, usize)> = Vec::new();
+        // are deferred so the tile can answer them as a group — each
+        // stashing the stage time of its cache probe for later.
+        let mut knn_miss: Vec<(usize, Point, usize, StageNanos)> = Vec::new();
         for &(idx, req) in &self.tile {
             let start = Instant::now();
-            match self.cache.lookup(&req) {
+            let before = if recording {
+                self.server.tree().stats()
+            } else {
+                Stats::default()
+            };
+            let hit = {
+                let _probe = lbq_obs::stage_timer(lbq_obs::Stage::CacheLookup);
+                self.cache.lookup(&req)
+            };
+            match hit {
                 Some(hit) => {
-                    out.push((idx, self.respond(hit, true, worker, elapsed_ns(start))));
+                    let attr = recording.then(|| Attribution {
+                        req,
+                        tier: CacheTier::Cache,
+                        stages: lbq_obs::take_stages(),
+                        accesses: self.server.tree().stats().delta_since(before),
+                    });
+                    out.push((
+                        idx,
+                        self.respond(hit, true, worker, elapsed_ns(start), idx, attr),
+                    ));
                 }
                 None => match req {
-                    QueryReq::Knn { q, k } => knn_miss.push((idx, q, k)),
+                    QueryReq::Knn { q, k } => {
+                        let probe = if recording {
+                            lbq_obs::take_stages()
+                        } else {
+                            StageNanos::default()
+                        };
+                        knn_miss.push((idx, q, k, probe));
+                    }
                     QueryReq::Window { .. } => {
                         let fresh = Arc::new(answer_on_with(&self.server, &req, scratch));
                         self.cache.insert(&req, Arc::clone(&fresh));
-                        out.push((idx, self.respond(fresh, false, worker, elapsed_ns(start))));
+                        let attr = recording.then(|| Attribution {
+                            req,
+                            tier: CacheTier::Tree,
+                            stages: lbq_obs::take_stages(),
+                            accesses: self.server.tree().stats().delta_since(before),
+                        });
+                        out.push((
+                            idx,
+                            self.respond(fresh, false, worker, elapsed_ns(start), idx, attr),
+                        ));
                     }
                 },
             }
@@ -350,12 +452,28 @@ impl TileJob {
                 handled[j] = true;
             }
             if group.len() == 1 {
-                let (idx, q, _) = knn_miss[i];
+                let (idx, q, _, probe) = knn_miss[i];
                 let req = QueryReq::knn(q, k);
                 let start = Instant::now();
+                let before = if recording {
+                    self.server.tree().stats()
+                } else {
+                    Stats::default()
+                };
                 let fresh = Arc::new(answer_on_with(&self.server, &req, scratch));
                 self.cache.insert(&req, Arc::clone(&fresh));
-                out.push((idx, self.respond(fresh, false, worker, elapsed_ns(start))));
+                let attr = recording.then(|| Attribution {
+                    req,
+                    tier: CacheTier::Tree,
+                    // The stashed cache-probe time plus this query's own
+                    // tree traversal.
+                    stages: probe.saturating_add(lbq_obs::take_stages()),
+                    accesses: self.server.tree().stats().delta_since(before),
+                });
+                out.push((
+                    idx,
+                    self.respond(fresh, false, worker, elapsed_ns(start), idx, attr),
+                ));
                 continue;
             }
             // Shared-frontier kNN for the whole group, then per-query
@@ -363,6 +481,11 @@ impl TileJob {
             // `knn_in` (see `lbq_rtree::RTree::knn_group_in`).
             let points: Vec<Point> = group.iter().map(|&j| knn_miss[j].1).collect();
             let t_group = Instant::now();
+            let before = if recording {
+                self.server.tree().stats()
+            } else {
+                Stats::default()
+            };
             let stride = k.min(self.server.tree().len());
             let results: Vec<Vec<Item>> = if stride == 0 {
                 vec![Vec::new(); points.len()]
@@ -380,30 +503,57 @@ impl TileJob {
             // the per-query path (see
             // `LbqServer::knn_responses_from_results_group_in`). Both
             // traversals served every member at once; amortize their
-            // cost evenly across the group for per-query latency.
+            // cost evenly across the group for per-query latency — and
+            // for stage attribution and tree-access deltas alike.
             let resps = self
                 .server
                 .knn_responses_from_results_group_in(&points, results, scratch);
-            let shared_ns = elapsed_ns(t_group) / group.len() as u64;
+            let members = group.len() as u64;
+            let shared_ns = elapsed_ns(t_group) / members;
+            let (shared_stages, shared_accesses) = if recording {
+                let d = self.server.tree().stats().delta_since(before);
+                (
+                    lbq_obs::take_stages().amortized(members),
+                    Stats {
+                        node_accesses: d.node_accesses / members,
+                        page_faults: d.page_faults / members,
+                    },
+                )
+            } else {
+                (StageNanos::default(), Stats::default())
+            };
             for (&j, resp) in group.iter().zip(resps) {
-                let (idx, q, _) = knn_miss[j];
+                let (idx, q, _, probe) = knn_miss[j];
                 let fresh = Arc::new(QueryAnswer::Knn(resp));
                 let req = QueryReq::knn(q, k);
                 self.cache.insert(&req, Arc::clone(&fresh));
-                out.push((idx, self.respond(fresh, false, worker, shared_ns)));
+                let attr = recording.then(|| Attribution {
+                    req,
+                    tier: CacheTier::TreeGroup,
+                    stages: probe.saturating_add(shared_stages),
+                    accesses: shared_accesses,
+                });
+                out.push((
+                    idx,
+                    self.respond(fresh, false, worker, shared_ns, idx, attr),
+                ));
             }
         }
         out
     }
 
     /// Builds one response and feeds the per-worker + global accounting
-    /// (jobs are counted per *query*, not per tile).
+    /// (jobs are counted per *query*, not per tile). With recording on,
+    /// `attr` carries the stage/tier/access context this query stamps
+    /// into the flight recorder and hot-tile heatmap.
     fn respond(
         &self,
         answer: Arc<QueryAnswer>,
         from_cache: bool,
         worker: usize,
         elapsed: u64,
+        idx: usize,
+        attr: Option<Attribution>,
     ) -> QueryResp {
         let ws = &self.stats[worker];
         ws.jobs.fetch_add(1, Ordering::Relaxed);
@@ -412,13 +562,43 @@ impl TileJob {
         ws.busy_ns.fetch_add(elapsed, Ordering::Relaxed);
         ws.latency.record_ns(elapsed);
         self.latency.record_ns(elapsed);
+        let query_id = self.first_id + idx as u64;
+        let stages = attr.as_ref().map_or_else(StageNanos::default, |a| a.stages);
+        if let Some(a) = attr {
+            let universe = self.server.universe();
+            let tile =
+                lbq_obs::Heatmap::tile_of_key(hilbert_key(a.req.focus(), &universe), 2 * KEY_ORDER);
+            self.heat.record(tile, elapsed);
+            let (kind, k) = match a.req {
+                QueryReq::Knn { k, .. } => (QueryKind::Knn, sat32(k as u64)),
+                QueryReq::Window { .. } => (QueryKind::Window, 0),
+            };
+            lbq_obs::record_query(&QueryEvent {
+                query_id,
+                kind,
+                k,
+                tier: a.tier,
+                tile,
+                latency_ns: elapsed,
+                node_accesses: sat32(a.accesses.node_accesses),
+                page_accesses: sat32(a.accesses.page_faults),
+                stages,
+            });
+        }
         QueryResp {
             answer,
             from_cache,
             worker,
             latency_ns: elapsed,
+            query_id,
+            stages,
         }
     }
+}
+
+/// Saturating narrowing for recorder fields (k, access counts).
+fn sat32(v: u64) -> u32 {
+    u32::try_from(v).unwrap_or(u32::MAX)
 }
 
 fn elapsed_ns(start: Instant) -> u64 {
@@ -512,6 +692,41 @@ mod tests {
         for (a, b) in first.iter().zip(&second) {
             assert_eq!(a.answer.result_ids(), b.answer.result_ids());
         }
+    }
+
+    #[test]
+    fn query_ids_are_request_ordered_and_unique_across_batches() {
+        let engine = grid_engine(3, CacheConfig::default());
+        let reqs: Vec<QueryReq> = (0..25)
+            .map(|i| {
+                QueryReq::knn(
+                    Point::new((i % 5) as f64 * 1.9 + 0.4, (i / 5) as f64 * 1.7),
+                    2,
+                )
+            })
+            .collect();
+        let first = engine.submit(reqs.clone());
+        // Ids follow request order regardless of the Hilbert permutation.
+        let ids: Vec<u64> = first.iter().map(|r| r.query_id).collect();
+        assert_eq!(ids, (0..25).collect::<Vec<u64>>());
+        // The next batch continues where the first left off.
+        let second = engine.submit(reqs);
+        let ids: Vec<u64> = second.iter().map(|r| r.query_id).collect();
+        assert_eq!(ids, (25..50).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn stages_are_zero_when_recording_is_off() {
+        // Engine unit tests share the process with other lbq-serve unit
+        // tests, none of which arm recording — so stages must be zeros.
+        // (The recording-on path is exercised by the serve integration
+        // tests, which run in their own process.)
+        let engine = grid_engine(2, CacheConfig::default());
+        let resps = engine.submit(vec![
+            QueryReq::knn(Point::new(4.2, 5.1), 3),
+            QueryReq::window(Point::new(5.0, 5.0), 1.5, 1.5),
+        ]);
+        assert!(resps.iter().all(|r| r.stages.is_zero()));
     }
 
     #[test]

@@ -34,6 +34,16 @@
 //! `serve-query-latency` histogram. Per-worker latency histograms are
 //! kept engine-local and rendered by [`Engine::profile_table`].
 //!
+//! With recording armed ([`lbq_obs::init_recorder`], or
+//! `LBQ_OBS_SNAPSHOT` via [`lbq_obs::install_exporter_from_env`]), the
+//! engine additionally threads a [`QueryResp::query_id`] through the
+//! submit → Hilbert-tile → group-kNN/cache → tree pipeline and
+//! attributes every response's latency to pipeline stages
+//! ([`QueryResp::stages`]); each answered query feeds the
+//! `serve-tile-heat` hot-tile heatmap and the flight recorder
+//! (slow-query capture included). Answers are bit-identical with
+//! recording on or off — the instrumentation only observes.
+//!
 //! # Example
 //!
 //! ```
@@ -188,6 +198,18 @@ pub struct QueryResp {
     /// Wall-clock service time of this request, nanoseconds (cache
     /// probe included).
     pub latency_ns: u64,
+    /// Engine-assigned query id: unique per [`Engine`] instance,
+    /// assigned at `submit` in request order — stable across tiling,
+    /// worker scheduling, and recording on/off.
+    pub query_id: u64,
+    /// Per-stage breakdown of where this query's time went (cache
+    /// lookup, tree/group kNN, TPNN chain, clip, window pass). All
+    /// zeros unless recording is on ([`lbq_obs::init_recorder`]).
+    /// Stage sums can differ slightly from `latency_ns`: the cache
+    /// probe of a deferred kNN miss is attributed here but precedes
+    /// the latency window, and group-shared stages are amortized the
+    /// same way `latency_ns` is.
+    pub stages: lbq_obs::StageNanos,
 }
 
 /// Evaluates `req` directly against `server`, bypassing pool and cache.

@@ -1,0 +1,129 @@
+//! Recording-on integration: per-query stage attribution, flight
+//! recorder, and heatmap, end to end through `Engine::submit` — and the
+//! bit-identical guarantee that arming recording changes no answer.
+//!
+//! Lives in its own integration-test process because recording
+//! ([`lbq_obs::set_recording`]) and the flight recorder are
+//! process-global: unit tests inside the crates must not see the flag
+//! flipped mid-run.
+
+use lbq_core::LbqServer;
+use lbq_geom::{Point, Rect};
+use lbq_obs::{QueryKind, RecorderConfig};
+use lbq_rtree::{Item, RTree, RTreeConfig};
+use lbq_serve::{Engine, EngineConfig, QueryReq, QueryResp};
+use std::sync::Arc;
+
+fn grid_server(n_side: u64) -> Arc<LbqServer> {
+    let universe = Rect::new(0.0, 0.0, n_side as f64, n_side as f64);
+    let items: Vec<Item> = (0..n_side * n_side)
+        .map(|i| Item::new(Point::new((i % n_side) as f64, (i / n_side) as f64), i))
+        .collect();
+    Arc::new(LbqServer::new(
+        RTree::bulk_load(items, RTreeConfig::default()),
+        universe,
+    ))
+}
+
+fn workload(n: usize) -> Vec<QueryReq> {
+    (0..n)
+        .map(|i| match i % 3 {
+            0 => QueryReq::knn(Point::new((i % 17) as f64 + 0.3, (i % 13) as f64 + 0.6), 4),
+            1 => QueryReq::knn(Point::new((i % 11) as f64 + 0.1, (i % 19) as f64 + 0.2), 8),
+            _ => QueryReq::window(
+                Point::new((i % 15) as f64 + 0.5, (i % 9) as f64 + 0.5),
+                1.25,
+                0.75,
+            ),
+        })
+        .collect()
+}
+
+fn ids_of(resps: &[QueryResp]) -> Vec<Vec<u64>> {
+    resps.iter().map(|r| r.answer.result_ids()).collect()
+}
+
+#[test]
+fn attribution_recorder_and_heatmap_end_to_end() {
+    let server = grid_server(20);
+    let reqs = workload(120);
+
+    // Baseline pass with recording off: answers and zeroed stages.
+    let off = Engine::new(Arc::clone(&server), EngineConfig::with_workers(3));
+    let baseline = off.submit(reqs.clone());
+    assert!(baseline.iter().all(|r| r.stages.is_zero()));
+
+    // Arm recording (exporter not needed for this test).
+    lbq_obs::init_recorder(RecorderConfig {
+        capacity: 256,
+        ..RecorderConfig::default()
+    });
+    assert!(lbq_obs::recording());
+
+    let on = Engine::new(Arc::clone(&server), EngineConfig::with_workers(3));
+    let recorded = on.submit(reqs.clone());
+
+    // Bit-identical: recording only observes. (`from_cache` is NOT
+    // compared — within a batch, whether a query hits an entry that a
+    // concurrent tile just inserted depends on worker scheduling; the
+    // validity-region lemma guarantees the result *sets* match either
+    // way, and that is the bit-identical contract.)
+    assert_eq!(ids_of(&baseline), ids_of(&recorded));
+
+    // Ids are request-ordered; every miss carries non-zero attribution.
+    let ids: Vec<u64> = recorded.iter().map(|r| r.query_id).collect();
+    assert_eq!(ids, (0..reqs.len() as u64).collect::<Vec<u64>>());
+    let misses: Vec<&QueryResp> = recorded.iter().filter(|r| !r.from_cache).collect();
+    assert!(!misses.is_empty(), "fresh engine must miss");
+    for r in &misses {
+        assert!(
+            !r.stages.is_zero(),
+            "miss {} has all-zero stage attribution",
+            r.query_id
+        );
+    }
+    // kNN misses spend time in a tree stage; windows in the window pass.
+    let knn_ns: u64 = misses
+        .iter()
+        .map(|r| r.stages.get(lbq_obs::Stage::TreeKnn) + r.stages.get(lbq_obs::Stage::GroupKnn))
+        .sum();
+    let window_ns: u64 = misses
+        .iter()
+        .map(|r| r.stages.get(lbq_obs::Stage::WindowPass))
+        .sum();
+    assert!(knn_ns > 0, "no time attributed to tree/group kNN");
+    assert!(window_ns > 0, "no time attributed to the window pass");
+
+    // A second identical batch is served from cache: its responses
+    // attribute cache-lookup time and fresh ids.
+    let cached = on.submit(reqs.clone());
+    assert!(cached.iter().all(|r| r.from_cache));
+    assert_eq!(
+        cached[0].query_id,
+        reqs.len() as u64,
+        "ids continue across batches"
+    );
+    assert_eq!(ids_of(&cached), ids_of(&baseline));
+
+    // The flight recorder saw every recorded query...
+    let rec = lbq_obs::recorder().expect("recorder armed");
+    let stats = rec.stats();
+    assert_eq!(stats.total, 2 * reqs.len() as u64);
+    // ...and its ring holds the most recent events, kinds intact.
+    let recent = rec.recent();
+    assert!(!recent.is_empty());
+    assert!(recent
+        .iter()
+        .all(|(_, ev)| matches!(ev.kind, QueryKind::Knn | QueryKind::Window)));
+
+    // Heatmap: the engine's tile counters saw exactly the same queries.
+    let heat = lbq_obs::heatmap("serve-tile-heat");
+    let tiles = heat.snapshot();
+    assert!(!tiles.is_empty(), "heatmap empty after recorded batches");
+    let hits: u64 = tiles.iter().map(|t| t.hits).sum();
+    assert_eq!(hits, 2 * reqs.len() as u64);
+
+    // Stage histograms aggregated across queries.
+    let table = on.stage_table().render();
+    assert!(table.contains("tree-knn") || table.contains("group-knn"));
+}

@@ -12,6 +12,11 @@
 //! ```text
 //! cargo run --release -p lbq-serve --example moving_fleet
 //! ```
+//!
+//! Set `LBQ_OBS_SNAPSHOT=fleet.jsonl,500ms` to arm the flight recorder
+//! and stream periodic observability snapshots (stage histograms,
+//! hot-tile heatmap, slow-query captures) to `fleet.jsonl` while the
+//! fleet runs.
 
 use lbq_core::client::random_waypoint;
 use lbq_core::LbqServer;
@@ -45,6 +50,7 @@ impl Client {
 
 fn main() {
     lbq_obs::install_from_env();
+    let exporter = lbq_obs::install_exporter_from_env();
     let data = na_like_sized(20_000, 42);
     println!("dataset: {} ({} points)", data.name, data.len());
     let server = Arc::new(LbqServer::new(
@@ -156,4 +162,17 @@ fn main() {
         client_hits as f64 / total_steps as f64 * 100.0,
         cache.hits as f64 / total_steps as f64 * 100.0,
     );
+    if let Some(exporter) = exporter {
+        if let Some(rec) = lbq_obs::recorder() {
+            let s = rec.stats();
+            println!(
+                "\nflight recorder: {} records, {} slow captures (threshold {})",
+                s.total,
+                s.slow_captured,
+                lbq_obs::fmt_ns(s.threshold_ns),
+            );
+        }
+        // Dropping the exporter flushes one final snapshot block.
+        drop(exporter);
+    }
 }
