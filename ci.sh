@@ -89,6 +89,23 @@ cargo run --release -q -p lbq-bench --bin pr7_bench -- --quick >/dev/null
 echo "== pr7 bench artifact check"
 cargo run --release -q -p lbq-bench --bin pr7_bench -- --check BENCH_PR7.json
 
+echo "== pr8 bench smoke (loopback TCP serving)"
+cargo run --release -q -p lbq-bench --bin pr8_bench -- --quick >/dev/null
+
+echo "== pr8 bench artifact check"
+cargo run --release -q -p lbq-bench --bin pr8_bench -- --check BENCH_PR8.json
+
+echo "== loopback_fleet (byte-identical network serving)"
+out="$(cargo run --release -q -p lbq-net --example loopback_fleet 2>/dev/null)"
+echo "$out" | grep -q "byte-identical" || {
+    echo "ci: loopback_fleet did not report byte-identical responses" >&2
+    exit 1
+}
+echo "$out" | grep -q "== lbq-obs profile ==" || {
+    echo "ci: loopback_fleet did not print a profile table" >&2
+    exit 1
+}
+
 echo "== pr7 serve smoke (exporter schema + slow-query capture)"
 # A live engine under the snapshot exporter: bit-identical results
 # obs-on vs obs-off, an injected pathological query must be captured,

@@ -43,12 +43,13 @@ pub const RULE_NAMES: [&str; 11] = [
 pub const APPROVED_EPS_MODULE: &str = "crates/geom/src/lib.rs";
 
 /// Crates whose library code must be panic-free (`no-unwrap-core`).
-pub const PANIC_FREE_CRATES: [&str; 7] =
-    ["geom", "rtree", "voronoi", "hist", "core", "obs", "serve"];
+pub const PANIC_FREE_CRATES: [&str; 9] = [
+    "geom", "rtree", "voronoi", "hist", "core", "obs", "serve", "proto", "net",
+];
 
 /// Crates whose public items must be documented (`pub-doc`).
-pub const DOC_CRATES: [&str; 9] = [
-    "geom", "core", "obs", "voronoi", "hist", "rng", "data", "rtree", "serve",
+pub const DOC_CRATES: [&str; 11] = [
+    "geom", "core", "obs", "voronoi", "hist", "rng", "data", "rtree", "serve", "proto", "net",
 ];
 
 /// One finding: rule, location, human-readable message.

@@ -1,0 +1,144 @@
+//! The session layer: a cross-connection request coalescer.
+//!
+//! Readers of *all* connections inject decoded requests into one
+//! [`Injector`]; a single dispatcher thread drains it in **coalesced
+//! batches** — requests arriving within [`crate::NetConfig::coalesce_window`]
+//! of each other (from any connection) ride the same
+//! [`lbq_serve::Engine::submit`] call, and therefore the same Hilbert
+//! tiling and shared-frontier group traversals. This is where network
+//! serving meets the batched-query regime the engine was built for:
+//! concurrency across sockets is converted into spatial batching.
+//!
+//! Backpressure: the injector is unbounded, but every entry is covered
+//! by its connection's in-flight budget
+//! ([`crate::NetConfig::max_inflight`], enforced by the reader), so the
+//! queue can never hold more than `connections × max_inflight`
+//! requests. Overflowing a budget is a protocol error that tears the
+//! offending connection down — a slow *reader of responses* throttles
+//! itself, never its neighbors.
+
+use crate::server::Conn;
+use lbq_serve::{Engine, QueryReq};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One decoded, validated request waiting for dispatch.
+pub(crate) struct Pending {
+    /// The connection to route the response back to.
+    pub(crate) conn: Arc<Conn>,
+    /// Client-chosen correlation id, echoed in the response frame.
+    pub(crate) request_id: u64,
+    /// The engine request.
+    pub(crate) req: QueryReq,
+    /// When the reader finished decoding the frame — the start of the
+    /// `net-socket-latency` window.
+    pub(crate) recv_at: Instant,
+}
+
+/// The shared request queue between connection readers and the
+/// dispatcher.
+pub(crate) struct Injector {
+    q: Mutex<VecDeque<Pending>>,
+    cvar: Condvar,
+    stop: AtomicBool,
+}
+
+impl Injector {
+    pub(crate) fn new() -> Injector {
+        Injector {
+            q: Mutex::new(VecDeque::new()),
+            cvar: Condvar::new(),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Enqueues one request and wakes the dispatcher.
+    pub(crate) fn push(&self, p: Pending) {
+        let mut q = self.q.lock().unwrap_or_else(|e| e.into_inner());
+        q.push_back(p);
+        drop(q);
+        self.cvar.notify_one();
+    }
+
+    /// Begins shutdown: the dispatcher drains whatever is queued, then
+    /// [`Injector::next_batch`] starts returning `None`.
+    pub(crate) fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.cvar.notify_all();
+    }
+
+    /// Blocks for the next coalesced batch: waits for a first request,
+    /// then keeps collecting until `window` elapses or `max_batch`
+    /// requests are in hand. Returns `None` only once stopped *and*
+    /// drained, so every accepted request is answered even across a
+    /// shutdown.
+    pub(crate) fn next_batch(&self, window: Duration, max_batch: usize) -> Option<Vec<Pending>> {
+        let mut q = self.q.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if !q.is_empty() {
+                break;
+            }
+            if self.stop.load(Ordering::Acquire) {
+                return None;
+            }
+            q = self.cvar.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+        // A request is in hand: hold the door open for the coalescing
+        // window (skipped once stopping — drain as fast as possible).
+        let deadline = Instant::now() + window;
+        while q.len() < max_batch && !self.stop.load(Ordering::Acquire) {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, timeout) = self
+                .cvar
+                .wait_timeout(q, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        let take = q.len().min(max_batch);
+        Some(q.drain(..take).collect())
+    }
+}
+
+/// The dispatcher loop: drain coalesced batches, submit each as one
+/// engine batch, encode and route the responses. Runs on the server's
+/// dedicated session thread until the injector is stopped and drained.
+pub(crate) fn dispatch_loop(
+    engine: Arc<Engine>,
+    injector: Arc<Injector>,
+    window: Duration,
+    max_batch: usize,
+) {
+    let batch_hist = lbq_obs::histogram("net-coalesce-batch");
+    let latency = lbq_obs::histogram("net-socket-latency");
+    let frames_out = lbq_obs::counter("net-frames-out");
+    while let Some(batch) = injector.next_batch(window, max_batch) {
+        batch_hist.record_value(batch.len() as u64);
+        let reqs: Vec<QueryReq> = batch.iter().map(|p| p.req).collect();
+        let resps = engine.submit(reqs);
+        for (p, resp) in batch.iter().zip(&resps) {
+            let mut bytes = Vec::with_capacity(crate::RESPONSE_CAPACITY_HINT);
+            if let Err(e) = lbq_proto::encode_query_response(p.request_id, resp, &mut bytes) {
+                // Out-of-contract giant response: answer with the error
+                // instead of silently dropping the request.
+                bytes = lbq_proto::encode_error(p.request_id, e.code, e.detail);
+            }
+            latency.record_ns(elapsed_ns(p.recv_at));
+            if p.conn.send_bytes(bytes) {
+                frames_out.add(1);
+            }
+            p.conn.finish_request();
+        }
+    }
+}
+
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}

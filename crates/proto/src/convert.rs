@@ -1,0 +1,143 @@
+//! Interop with `lbq-serve`: request frames ↔ [`QueryReq`], and the
+//! server's zero-copy response encoder over [`QueryResp`].
+//!
+//! The **byte-identical contract**: [`encode_query_response`] is a pure
+//! function of `(request_id, resp)`, so a socket response equals, byte
+//! for byte, the encoding of the in-process [`QueryResp`] for the same
+//! request — the loopback fleet harness and `ci.sh` assert exactly
+//! that. (`QueryResp::worker` and `QueryResp::latency_ns` are
+//! deliberately *not* on the wire: they are scheduling-dependent
+//! serving metadata, not part of the answer.)
+
+use crate::frames::{encode_frame, encode_with, Frame, KnnRequest, WindowRequest};
+use crate::{ErrorCode, WireError, MAX_K};
+use lbq_serve::{QueryAnswer, QueryReq, QueryResp};
+
+/// Semantic validation of a decoded request frame, applied by the
+/// server *before* the request reaches the engine. Violations map to
+/// [`ErrorCode::InvalidRequest`] — a recoverable error: the request is
+/// rejected, the connection survives.
+///
+/// Checks (v1): all coordinates finite; kNN `k` in `1..=`[`MAX_K`];
+/// window half-extents positive and finite. Response and error frames
+/// are not requests and are rejected as [`ErrorCode::Malformed`]
+/// (role violation — fatal).
+pub fn validate_request(frame: &Frame) -> Result<(), WireError> {
+    let invalid = |detail: String| WireError::new(ErrorCode::InvalidRequest, detail);
+    match frame {
+        Frame::KnnRequest(KnnRequest { q, k, .. }) => {
+            if !q.x.is_finite() || !q.y.is_finite() {
+                return Err(invalid(format!(
+                    "kNN focus ({}, {}) is not finite",
+                    q.x, q.y
+                )));
+            }
+            if *k == 0 || *k > MAX_K {
+                return Err(invalid(format!("k={k} outside 1..={MAX_K}")));
+            }
+            Ok(())
+        }
+        Frame::WindowRequest(WindowRequest { c, hx, hy, .. }) => {
+            if !c.x.is_finite() || !c.y.is_finite() {
+                return Err(invalid(format!(
+                    "window center ({}, {}) is not finite",
+                    c.x, c.y
+                )));
+            }
+            if !(hx.is_finite() && hy.is_finite() && *hx > 0.0 && *hy > 0.0) {
+                return Err(invalid(format!(
+                    "window half-extents ({hx}, {hy}) must be positive and finite"
+                )));
+            }
+            Ok(())
+        }
+        _ => Err(WireError::new(
+            ErrorCode::Malformed,
+            format!(
+                "frame type {:?} is not a request (role violation)",
+                frame.frame_type()
+            ),
+        )),
+    }
+}
+
+/// The engine request a (validated) request frame asks for, with its
+/// correlation id. `None` for non-request frames.
+pub fn request_query(frame: &Frame) -> Option<(u64, QueryReq)> {
+    match frame {
+        Frame::KnnRequest(KnnRequest { request_id, q, k }) => {
+            Some((*request_id, QueryReq::knn(*q, *k as usize)))
+        }
+        Frame::WindowRequest(WindowRequest {
+            request_id,
+            c,
+            hx,
+            hy,
+        }) => Some((*request_id, QueryReq::window(*c, *hx, *hy))),
+        _ => None,
+    }
+}
+
+/// The request frame a client sends for `req`, under correlation id
+/// `request_id`. (`k` saturates into the `u32` wire field; values
+/// beyond [`MAX_K`] are rejected server-side anyway.)
+pub fn query_request(request_id: u64, req: &QueryReq) -> Frame {
+    match *req {
+        QueryReq::Knn { q, k } => Frame::KnnRequest(KnnRequest {
+            request_id,
+            q,
+            k: u32::try_from(k).unwrap_or(u32::MAX),
+        }),
+        QueryReq::Window { c, hx, hy } => Frame::WindowRequest(WindowRequest {
+            request_id,
+            c,
+            hx,
+            hy,
+        }),
+    }
+}
+
+/// Encodes the response frame for `resp` under correlation id
+/// `request_id`, appending to `out` — borrowing straight out of the
+/// engine's `Arc`-shared answer, no clone. This is the function whose
+/// output the byte-identical contract is stated over.
+pub fn encode_query_response(
+    request_id: u64,
+    resp: &QueryResp,
+    out: &mut Vec<u8>,
+) -> Result<(), WireError> {
+    match &*resp.answer {
+        QueryAnswer::Knn(nn) => encode_with(out, crate::FrameType::KnnResponse, |p| {
+            crate::frames::put_knn_response(
+                p,
+                request_id,
+                resp.query_id,
+                resp.from_cache,
+                &resp.stages,
+                nn,
+            );
+        }),
+        QueryAnswer::Window(w) => encode_with(out, crate::FrameType::WindowResponse, |p| {
+            crate::frames::put_window_response(
+                p,
+                request_id,
+                resp.query_id,
+                resp.from_cache,
+                &resp.stages,
+                w,
+            );
+        }),
+    }
+}
+
+/// Convenience: the encoded bytes of an [`crate::ErrorFrame`].
+pub fn encode_error(request_id: u64, code: ErrorCode, detail: impl Into<String>) -> Vec<u8> {
+    let mut out = Vec::new();
+    // An error frame's payload is a few hundred bytes at most (the
+    // detail string is u16-truncated), so this encode cannot fail.
+    let _ = encode_frame(
+        &Frame::Error(crate::ErrorFrame::new(request_id, code, detail)),
+        &mut out,
+    );
+    out
+}

@@ -1,0 +1,581 @@
+//! Frame types, their payload layouts, and the top-level
+//! encoder/decoder. The byte layout implemented here is specified
+//! normatively in `docs/PROTOCOL.md`; the `golden_frames` test pins the
+//! two in lockstep, so a change to either without the other is a test
+//! failure, not silent drift.
+
+use crate::wire::{
+    put_f64, put_item, put_point, put_rect, put_str, put_u16, put_u32, put_u64, Reader, ITEM_LEN,
+    PAIR_LEN, POINT_LEN,
+};
+use crate::{ErrorCode, WireError, HEADER_LEN, MAGIC, VERSION};
+use lbq_core::{InfluencePair, NnResponse, NnValidity, WindowResponse, WindowValidity};
+use lbq_geom::{ConvexPolygon, Point};
+use lbq_obs::{StageNanos, STAGE_COUNT};
+
+/// Frame-type discriminants (header byte 5). Requests flow client →
+/// server, responses server → client; a peer receiving a recognized
+/// type that is invalid for its role must treat the frame as
+/// [`ErrorCode::Malformed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameType {
+    /// kNN-with-validity request (client → server).
+    KnnRequest = 0x10,
+    /// Window-with-validity request (client → server).
+    WindowRequest = 0x11,
+    /// kNN-with-validity response (server → client).
+    KnnResponse = 0x20,
+    /// Window-with-validity response (server → client).
+    WindowResponse = 0x21,
+    /// Error report (server → client).
+    Error = 0x3F,
+}
+
+impl FrameType {
+    /// Maps a header type byte back to a known frame type.
+    pub fn from_u8(v: u8) -> Option<FrameType> {
+        match v {
+            0x10 => Some(FrameType::KnnRequest),
+            0x11 => Some(FrameType::WindowRequest),
+            0x20 => Some(FrameType::KnnResponse),
+            0x21 => Some(FrameType::WindowResponse),
+            0x3F => Some(FrameType::Error),
+            _ => None,
+        }
+    }
+}
+
+/// Payload of a [`FrameType::KnnRequest`] (28 bytes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnnRequest {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub request_id: u64,
+    /// Query focus (the client's position).
+    pub q: Point,
+    /// Number of neighbors (`1..=MAX_K` — see [`crate::MAX_K`]).
+    pub k: u32,
+}
+
+/// Payload of a [`FrameType::WindowRequest`] (40 bytes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowRequest {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub request_id: u64,
+    /// Window center (the client's position).
+    pub c: Point,
+    /// Half-width (must be positive and finite).
+    pub hx: f64,
+    /// Half-height (must be positive and finite).
+    pub hy: f64,
+}
+
+/// Payload of a [`FrameType::KnnResponse`]: the correlation ids, the
+/// serving metadata, and the paper's full kNN answer — result set,
+/// influence pairs, and clipped validity polygon.
+#[derive(Debug, Clone)]
+pub struct KnnResponseFrame {
+    /// Echo of the request's correlation id.
+    pub request_id: u64,
+    /// Engine-assigned query id (`lbq_serve::QueryResp::query_id`).
+    pub query_id: u64,
+    /// `true` when the answer came from the server's validity-region
+    /// cache (flags bit 0).
+    pub from_cache: bool,
+    /// Per-stage latency attribution; all-zero unless the server is
+    /// recording ([`lbq_obs::init_recorder`]).
+    pub stages: StageNanos,
+    /// The answer itself, exactly as produced in-process.
+    pub body: NnResponse,
+}
+
+/// Payload of a [`FrameType::WindowResponse`]: correlation ids, serving
+/// metadata, and the window answer with its rectilinear validity
+/// structure.
+#[derive(Debug, Clone)]
+pub struct WindowResponseFrame {
+    /// Echo of the request's correlation id.
+    pub request_id: u64,
+    /// Engine-assigned query id (`lbq_serve::QueryResp::query_id`).
+    pub query_id: u64,
+    /// `true` when the answer came from the server's validity-region
+    /// cache (flags bit 0).
+    pub from_cache: bool,
+    /// Per-stage latency attribution; all-zero unless recording is on.
+    pub stages: StageNanos,
+    /// The answer itself, exactly as produced in-process.
+    pub body: WindowResponse,
+}
+
+/// Payload of a [`FrameType::Error`]. `code` stays a raw `u32` so a
+/// v1 client can carry codes minted by newer servers; decode the known
+/// registry with [`ErrorFrame::error_code`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorFrame {
+    /// Correlation id of the offending request, or 0 when the error is
+    /// not attributable to one (e.g. a framing error).
+    pub request_id: u64,
+    /// Numeric error code (see [`ErrorCode`] for the v1 registry).
+    pub code: u32,
+    /// Human-readable diagnostic detail (not part of the contract).
+    pub detail: String,
+}
+
+impl ErrorFrame {
+    /// Builds an error frame from a registry code.
+    pub fn new(request_id: u64, code: ErrorCode, detail: impl Into<String>) -> ErrorFrame {
+        ErrorFrame {
+            request_id,
+            code: code as u32,
+            detail: detail.into(),
+        }
+    }
+
+    /// The registry entry for `code`, if this implementation knows it.
+    pub fn error_code(&self) -> Option<ErrorCode> {
+        ErrorCode::from_u32(self.code)
+    }
+}
+
+/// One decoded protocol frame.
+#[derive(Debug, Clone)]
+pub enum Frame {
+    /// A kNN-with-validity request.
+    KnnRequest(KnnRequest),
+    /// A window-with-validity request.
+    WindowRequest(WindowRequest),
+    /// A kNN-with-validity response (boxed: the dominant payload).
+    KnnResponse(Box<KnnResponseFrame>),
+    /// A window-with-validity response (boxed: the dominant payload).
+    WindowResponse(Box<WindowResponseFrame>),
+    /// An error report.
+    Error(ErrorFrame),
+}
+
+impl Frame {
+    /// The frame-type discriminant this frame encodes as.
+    pub fn frame_type(&self) -> FrameType {
+        match self {
+            Frame::KnnRequest(_) => FrameType::KnnRequest,
+            Frame::WindowRequest(_) => FrameType::WindowRequest,
+            Frame::KnnResponse(_) => FrameType::KnnResponse,
+            Frame::WindowResponse(_) => FrameType::WindowResponse,
+            Frame::Error(_) => FrameType::Error,
+        }
+    }
+
+    /// The correlation id carried by this frame.
+    pub fn request_id(&self) -> u64 {
+        match self {
+            Frame::KnnRequest(f) => f.request_id,
+            Frame::WindowRequest(f) => f.request_id,
+            Frame::KnnResponse(f) => f.request_id,
+            Frame::WindowResponse(f) => f.request_id,
+            Frame::Error(f) => f.request_id,
+        }
+    }
+}
+
+/// Outcome of [`decode_frame`] on a (possibly partial) byte buffer.
+#[derive(Debug)]
+pub enum Decoded {
+    /// A complete, recognized frame; `consumed` bytes were used.
+    Frame {
+        /// The decoded frame.
+        frame: Frame,
+        /// Total bytes consumed (header + payload).
+        consumed: usize,
+    },
+    /// A frame with a valid v1 header but an unrecognized type byte —
+    /// the forward-compatibility case. The receiver must skip
+    /// `consumed` bytes and may answer with
+    /// [`ErrorCode::UnknownFrameType`]; the connection stays usable
+    /// because the length prefix delimits the unknown payload.
+    Unknown {
+        /// The unrecognized type byte.
+        frame_type: u8,
+        /// Leading `u64` of the payload when one is present, else 0 —
+        /// by convention every future frame type leads with its
+        /// correlation id, so the error reply can carry it.
+        request_id: u64,
+        /// Total bytes to skip (header + payload).
+        consumed: usize,
+    },
+    /// Not enough bytes buffered yet: read until at least `need` total
+    /// bytes are available and retry.
+    Incomplete {
+        /// Minimum total buffer length required to make progress.
+        need: usize,
+    },
+}
+
+/// Decodes the first frame of `buf`.
+///
+/// `max_payload` caps the declared payload length *before* any
+/// allocation (receivers pick their role's cap —
+/// [`crate::DEFAULT_SERVER_MAX_PAYLOAD`] /
+/// [`crate::DEFAULT_CLIENT_MAX_PAYLOAD`]). Errors are protocol
+/// violations; [`ErrorCode::is_fatal`] says whether the stream can
+/// survive them. The function never panics, whatever the input bytes.
+pub fn decode_frame(buf: &[u8], max_payload: u32) -> Result<Decoded, WireError> {
+    if buf.len() < HEADER_LEN {
+        return Ok(Decoded::Incomplete { need: HEADER_LEN });
+    }
+    if buf[..4] != MAGIC {
+        return Err(WireError::new(
+            ErrorCode::BadMagic,
+            format!(
+                "bad magic {:02x} {:02x} {:02x} {:02x} (want 4c 42 51 31): stream out of sync",
+                buf[0], buf[1], buf[2], buf[3]
+            ),
+        ));
+    }
+    let version = buf[4];
+    if version != VERSION {
+        return Err(WireError::new(
+            ErrorCode::UnsupportedVersion,
+            format!("protocol version {version} not supported (this peer speaks {VERSION})"),
+        ));
+    }
+    let frame_type = buf[5];
+    // Bytes 6–7 are reserved: senders zero them, receivers ignore them
+    // (a future minor revision may assign them without breaking v1
+    // decoders).
+    let len = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
+    if len > max_payload {
+        return Err(WireError::new(
+            ErrorCode::FrameTooLarge,
+            format!("declared payload of {len} bytes exceeds this receiver's cap of {max_payload}"),
+        ));
+    }
+    let total = HEADER_LEN + len as usize;
+    if buf.len() < total {
+        return Ok(Decoded::Incomplete { need: total });
+    }
+    let payload = &buf[HEADER_LEN..total];
+    let mut r = Reader::new(payload);
+    let frame = match FrameType::from_u8(frame_type) {
+        Some(FrameType::KnnRequest) => Frame::KnnRequest(decode_knn_request(&mut r)?),
+        Some(FrameType::WindowRequest) => Frame::WindowRequest(decode_window_request(&mut r)?),
+        Some(FrameType::KnnResponse) => Frame::KnnResponse(Box::new(decode_knn_response(&mut r)?)),
+        Some(FrameType::WindowResponse) => {
+            Frame::WindowResponse(Box::new(decode_window_response(&mut r)?))
+        }
+        Some(FrameType::Error) => Frame::Error(decode_error(&mut r)?),
+        None => {
+            let request_id = if payload.len() >= 8 {
+                u64::from_le_bytes([
+                    payload[0], payload[1], payload[2], payload[3], payload[4], payload[5],
+                    payload[6], payload[7],
+                ])
+            } else {
+                0
+            };
+            return Ok(Decoded::Unknown {
+                frame_type,
+                request_id,
+                consumed: total,
+            });
+        }
+    };
+    r.finish()?;
+    Ok(Decoded::Frame {
+        frame,
+        consumed: total,
+    })
+}
+
+/// Encodes `frame`, appending header + payload to `out`. The only
+/// failure is a payload exceeding the `u32` length field (a >4 GiB
+/// response — out of contract); `out` is left untouched in that case.
+pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) -> Result<(), WireError> {
+    match frame {
+        Frame::KnnRequest(f) => encode_with(out, FrameType::KnnRequest, |p| {
+            put_u64(p, f.request_id);
+            put_point(p, f.q);
+            put_u32(p, f.k);
+        }),
+        Frame::WindowRequest(f) => encode_with(out, FrameType::WindowRequest, |p| {
+            put_u64(p, f.request_id);
+            put_point(p, f.c);
+            put_f64(p, f.hx);
+            put_f64(p, f.hy);
+        }),
+        Frame::KnnResponse(f) => encode_with(out, FrameType::KnnResponse, |p| {
+            put_knn_response(
+                p,
+                f.request_id,
+                f.query_id,
+                f.from_cache,
+                &f.stages,
+                &f.body,
+            );
+        }),
+        Frame::WindowResponse(f) => encode_with(out, FrameType::WindowResponse, |p| {
+            put_window_response(
+                p,
+                f.request_id,
+                f.query_id,
+                f.from_cache,
+                &f.stages,
+                &f.body,
+            );
+        }),
+        Frame::Error(f) => encode_with(out, FrameType::Error, |p| {
+            put_u64(p, f.request_id);
+            put_u32(p, f.code);
+            put_str(p, &f.detail);
+        }),
+    }
+}
+
+/// Writes the 12-byte header with a placeholder length, runs `payload`,
+/// then patches the true length in. Rolls `out` back on overflow.
+pub(crate) fn encode_with(
+    out: &mut Vec<u8>,
+    ty: FrameType,
+    payload: impl FnOnce(&mut Vec<u8>),
+) -> Result<(), WireError> {
+    let start = out.len();
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(ty as u8);
+    put_u16(out, 0); // reserved
+    let len_at = out.len();
+    put_u32(out, 0); // patched below
+    payload(out);
+    let plen = out.len() - len_at - 4;
+    let Ok(plen32) = u32::try_from(plen) else {
+        out.truncate(start);
+        return Err(WireError::new(
+            ErrorCode::FrameTooLarge,
+            format!("payload of {plen} bytes exceeds the u32 length field"),
+        ));
+    };
+    out[len_at..len_at + 4].copy_from_slice(&plen32.to_le_bytes());
+    Ok(())
+}
+
+// ---------------------------------------------------------------- payloads
+
+fn decode_knn_request(r: &mut Reader<'_>) -> Result<KnnRequest, WireError> {
+    Ok(KnnRequest {
+        request_id: r.u64("request_id")?,
+        q: r.point("q")?,
+        k: r.u32("k")?,
+    })
+}
+
+fn decode_window_request(r: &mut Reader<'_>) -> Result<WindowRequest, WireError> {
+    Ok(WindowRequest {
+        request_id: r.u64("request_id")?,
+        c: r.point("c")?,
+        hx: r.f64("hx")?,
+        hy: r.f64("hy")?,
+    })
+}
+
+/// Flags bit 0: the answer came from the validity-region cache.
+const FLAG_FROM_CACHE: u8 = 0x01;
+
+/// Decodes the shared response preamble: correlation ids, flags, and
+/// the stage-attribution block.
+fn decode_preamble(r: &mut Reader<'_>) -> Result<(u64, u64, bool, StageNanos), WireError> {
+    let request_id = r.u64("request_id")?;
+    let query_id = r.u64("query_id")?;
+    let flags = r.u8("flags")?;
+    if flags & !FLAG_FROM_CACHE != 0 {
+        return Err(WireError::new(
+            ErrorCode::Malformed,
+            format!("unknown response flag bits 0x{flags:02x} (v1 defines only bit 0)"),
+        ));
+    }
+    let stage_count = r.u8("stage_count")?;
+    if stage_count as usize != STAGE_COUNT {
+        return Err(WireError::new(
+            ErrorCode::Malformed,
+            format!("stage_count {stage_count} (v1 fixes it at {STAGE_COUNT})"),
+        ));
+    }
+    let mut stages = StageNanos::default();
+    for slot in stages.0.iter_mut() {
+        *slot = r.u64("stage nanoseconds")?;
+    }
+    Ok((request_id, query_id, flags & FLAG_FROM_CACHE != 0, stages))
+}
+
+fn put_preamble(
+    out: &mut Vec<u8>,
+    request_id: u64,
+    query_id: u64,
+    from_cache: bool,
+    stages: &StageNanos,
+) {
+    put_u64(out, request_id);
+    put_u64(out, query_id);
+    out.push(if from_cache { FLAG_FROM_CACHE } else { 0 });
+    out.push(STAGE_COUNT as u8);
+    for &ns in stages.0.iter() {
+        put_u64(out, ns);
+    }
+}
+
+fn decode_knn_response(r: &mut Reader<'_>) -> Result<KnnResponseFrame, WireError> {
+    let (request_id, query_id, from_cache, stages) = decode_preamble(r)?;
+    let query = r.point("query")?;
+    let tpnn_queries = r.u32("tpnn_queries")? as usize;
+    let n = r.count(ITEM_LEN, "result")?;
+    let mut result = Vec::with_capacity(n);
+    for _ in 0..n {
+        result.push(r.item("result item")?);
+    }
+    let universe = r.rect("universe")?;
+    let nv = r.count(POINT_LEN, "polygon vertices")?;
+    let mut vertices = Vec::with_capacity(nv);
+    for _ in 0..nv {
+        vertices.push(r.point("polygon vertex")?);
+    }
+    let polygon = ConvexPolygon::try_new(vertices).map_err(|e| {
+        WireError::new(
+            ErrorCode::Malformed,
+            format!("invalid validity polygon: {e}"),
+        )
+    })?;
+    let np = r.count(PAIR_LEN, "influence pairs")?;
+    let mut pairs = Vec::with_capacity(np);
+    for _ in 0..np {
+        pairs.push(InfluencePair {
+            inner: r.item("pair inner")?,
+            outer: r.item("pair outer")?,
+        });
+    }
+    Ok(KnnResponseFrame {
+        request_id,
+        query_id,
+        from_cache,
+        stages,
+        body: NnResponse {
+            query,
+            result,
+            validity: NnValidity {
+                pairs,
+                polygon,
+                universe,
+            },
+            tpnn_queries,
+        },
+    })
+}
+
+/// Encodes a kNN response payload from borrowed parts — the server's
+/// zero-copy path (no intermediate frame struct, no clone of the
+/// answer).
+pub(crate) fn put_knn_response(
+    out: &mut Vec<u8>,
+    request_id: u64,
+    query_id: u64,
+    from_cache: bool,
+    stages: &StageNanos,
+    body: &NnResponse,
+) {
+    put_preamble(out, request_id, query_id, from_cache, stages);
+    put_point(out, body.query);
+    put_u32(out, u32::try_from(body.tpnn_queries).unwrap_or(u32::MAX));
+    put_u32(out, body.result.len() as u32);
+    for it in &body.result {
+        put_item(out, it);
+    }
+    put_rect(out, &body.validity.universe);
+    let vs = body.validity.polygon.vertices();
+    put_u32(out, vs.len() as u32);
+    for &v in vs {
+        put_point(out, v);
+    }
+    put_u32(out, body.validity.pairs.len() as u32);
+    for p in &body.validity.pairs {
+        put_item(out, &p.inner);
+        put_item(out, &p.outer);
+    }
+}
+
+fn decode_window_response(r: &mut Reader<'_>) -> Result<WindowResponseFrame, WireError> {
+    let (request_id, query_id, from_cache, stages) = decode_preamble(r)?;
+    let query = r.point("query")?;
+    let window = r.rect("window")?;
+    let n = r.count(ITEM_LEN, "result")?;
+    let mut result = Vec::with_capacity(n);
+    for _ in 0..n {
+        result.push(r.item("result item")?);
+    }
+    let hx = r.f64("half.hx")?;
+    let hy = r.f64("half.hy")?;
+    let inner_rect = r.rect("inner_rect")?;
+    let ni = r.count(ITEM_LEN, "inner influence")?;
+    let mut inner_influence = Vec::with_capacity(ni);
+    for _ in 0..ni {
+        inner_influence.push(r.item("inner influence item")?);
+    }
+    let no = r.count(ITEM_LEN, "outer influence")?;
+    let mut outer_influence = Vec::with_capacity(no);
+    for _ in 0..no {
+        outer_influence.push(r.item("outer influence item")?);
+    }
+    let conservative = r.rect("conservative")?;
+    Ok(WindowResponseFrame {
+        request_id,
+        query_id,
+        from_cache,
+        stages,
+        body: WindowResponse {
+            query,
+            window,
+            result,
+            validity: WindowValidity {
+                half: (hx, hy),
+                inner_rect,
+                inner_influence,
+                outer_influence,
+                conservative,
+            },
+        },
+    })
+}
+
+/// Encodes a window response payload from borrowed parts — the server's
+/// zero-copy path.
+pub(crate) fn put_window_response(
+    out: &mut Vec<u8>,
+    request_id: u64,
+    query_id: u64,
+    from_cache: bool,
+    stages: &StageNanos,
+    body: &WindowResponse,
+) {
+    put_preamble(out, request_id, query_id, from_cache, stages);
+    put_point(out, body.query);
+    put_rect(out, &body.window);
+    put_u32(out, body.result.len() as u32);
+    for it in &body.result {
+        put_item(out, it);
+    }
+    put_f64(out, body.validity.half.0);
+    put_f64(out, body.validity.half.1);
+    put_rect(out, &body.validity.inner_rect);
+    put_u32(out, body.validity.inner_influence.len() as u32);
+    for it in &body.validity.inner_influence {
+        put_item(out, it);
+    }
+    put_u32(out, body.validity.outer_influence.len() as u32);
+    for it in &body.validity.outer_influence {
+        put_item(out, it);
+    }
+    put_rect(out, &body.validity.conservative);
+}
+
+fn decode_error(r: &mut Reader<'_>) -> Result<ErrorFrame, WireError> {
+    Ok(ErrorFrame {
+        request_id: r.u64("request_id")?,
+        code: r.u32("code")?,
+        detail: r.str("detail")?,
+    })
+}

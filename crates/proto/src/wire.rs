@@ -1,0 +1,192 @@
+//! Bounds-checked little-endian scalar encoding.
+//!
+//! Every multi-byte integer on the wire is little-endian; every `f64`
+//! is its IEEE-754 bit pattern, little-endian (`f64::to_le_bytes`).
+//! Decoding never panics: the [`Reader`] returns a
+//! [`WireError`] with [`ErrorCode::Malformed`] on any out-of-bounds
+//! read, and re-encoding a decoded value reproduces the input bytes
+//! bit-for-bit (floats round-trip through `from_le_bytes`, which
+//! preserves the exact bit pattern, NaN payloads included).
+
+use crate::{ErrorCode, WireError};
+use lbq_geom::{Point, Rect};
+use lbq_rtree::Item;
+
+/// A cursor over one frame payload. All reads are bounds-checked and
+/// advance the cursor; [`Reader::finish`] asserts full consumption so
+/// trailing garbage inside a declared payload is rejected.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take_bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::new(
+                ErrorCode::Malformed,
+                format!(
+                    "payload truncated reading {what}: need {n} bytes, have {}",
+                    self.remaining()
+                ),
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self, what: &str) -> Result<u8, WireError> {
+        Ok(self.take_bytes(1, what)?[0])
+    }
+
+    pub(crate) fn u16(&mut self, what: &str) -> Result<u16, WireError> {
+        let b = self.take_bytes(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    pub(crate) fn u32(&mut self, what: &str) -> Result<u32, WireError> {
+        let b = self.take_bytes(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn u64(&mut self, what: &str) -> Result<u64, WireError> {
+        let b = self.take_bytes(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    pub(crate) fn f64(&mut self, what: &str) -> Result<f64, WireError> {
+        let b = self.take_bytes(8, what)?;
+        Ok(f64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    pub(crate) fn point(&mut self, what: &str) -> Result<Point, WireError> {
+        Ok(Point::new(self.f64(what)?, self.f64(what)?))
+    }
+
+    pub(crate) fn rect(&mut self, what: &str) -> Result<Rect, WireError> {
+        let xmin = self.f64(what)?;
+        let ymin = self.f64(what)?;
+        let xmax = self.f64(what)?;
+        let ymax = self.f64(what)?;
+        Ok(Rect {
+            xmin,
+            ymin,
+            xmax,
+            ymax,
+        })
+    }
+
+    pub(crate) fn item(&mut self, what: &str) -> Result<Item, WireError> {
+        let id = self.u64(what)?;
+        let point = self.point(what)?;
+        Ok(Item { point, id })
+    }
+
+    /// Reads a `u32` element count and proves the declared payload can
+    /// actually hold `count` elements of `elem_len` bytes before any
+    /// allocation happens — an adversarial length prefix can therefore
+    /// never cause an oversized reservation.
+    pub(crate) fn count(&mut self, elem_len: usize, what: &str) -> Result<usize, WireError> {
+        let n = self.u32(what)? as usize;
+        let need = (n as u64).saturating_mul(elem_len as u64);
+        if need > self.remaining() as u64 {
+            return Err(WireError::new(
+                ErrorCode::Malformed,
+                format!(
+                    "{what} count {n} needs {need} bytes but only {} remain in the payload",
+                    self.remaining()
+                ),
+            ));
+        }
+        Ok(n)
+    }
+
+    /// Reads a `u16`-length-prefixed UTF-8 string.
+    pub(crate) fn str(&mut self, what: &str) -> Result<String, WireError> {
+        let n = self.u16(what)? as usize;
+        let b = self.take_bytes(n, what)?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| WireError::new(ErrorCode::Malformed, format!("{what} is not valid UTF-8")))
+    }
+
+    /// Asserts the whole payload was consumed: a well-formed frame has
+    /// no slack between its last field and its declared length.
+    pub(crate) fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::new(
+                ErrorCode::Malformed,
+                format!(
+                    "{} trailing bytes after the last payload field",
+                    self.remaining()
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_point(out: &mut Vec<u8>, p: Point) {
+    put_f64(out, p.x);
+    put_f64(out, p.y);
+}
+
+pub(crate) fn put_rect(out: &mut Vec<u8>, r: &Rect) {
+    put_f64(out, r.xmin);
+    put_f64(out, r.ymin);
+    put_f64(out, r.xmax);
+    put_f64(out, r.ymax);
+}
+
+pub(crate) fn put_item(out: &mut Vec<u8>, it: &Item) {
+    put_u64(out, it.id);
+    put_point(out, it.point);
+}
+
+/// Writes a `u16`-length-prefixed UTF-8 string, truncating on a char
+/// boundary if `s` exceeds the 65 535-byte wire limit (error details
+/// are diagnostics, not data — truncation beats an unencodable frame).
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    let mut end = s.len().min(u16::MAX as usize);
+    while end > 0 && !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    let bytes = &s.as_bytes()[..end];
+    put_u16(out, bytes.len() as u16);
+    out.extend_from_slice(bytes);
+}
+
+/// Wire size of one [`Item`] (`id:u64` + `point:2×f64`).
+pub(crate) const ITEM_LEN: usize = 24;
+/// Wire size of one [`Point`] (`2×f64`).
+pub(crate) const POINT_LEN: usize = 16;
+/// Wire size of one influence pair (`inner:Item` + `outer:Item`).
+pub(crate) const PAIR_LEN: usize = 2 * ITEM_LEN;

@@ -1,0 +1,220 @@
+//! Golden-frame pinning: the annotated hexdumps quoted in
+//! `docs/PROTOCOL.md` are parsed out of the document and compared,
+//! byte for byte, against what the encoders actually produce for the
+//! same canonical frames. A drift in either direction — an encoder
+//! change that invalidates the spec, or a spec edit that no longer
+//! matches the code — fails this test.
+//!
+//! Doc format: inside any fenced code block, a line
+//! `; golden-frame: <name>` opens a golden block; the following lines
+//! are hexdump rows `OFFS  b0 b1 …  | annotation` (4-hex-digit offset,
+//! hex byte pairs, optional `|`-prefixed comment). The block ends at
+//! the first non-hexdump line.
+
+use lbq_core::{InfluencePair, NnResponse, NnValidity, WindowResponse, WindowValidity};
+use lbq_geom::{ConvexPolygon, Point, Rect};
+use lbq_obs::StageNanos;
+use lbq_proto::{
+    encode_frame, ErrorCode, ErrorFrame, Frame, KnnRequest, KnnResponseFrame, WindowRequest,
+    WindowResponseFrame,
+};
+use std::collections::BTreeMap;
+
+const DOC: &str = include_str!("../../../docs/PROTOCOL.md");
+
+fn item(id: u64, x: f64, y: f64) -> lbq_rtree::Item {
+    lbq_rtree::Item::new(Point::new(x, y), id)
+}
+
+/// The five canonical frames the spec's hexdumps are rendered from —
+/// one per frame type, with deliberately recognizable values.
+fn canonical_frames() -> Vec<(&'static str, Frame)> {
+    vec![
+        (
+            "knn-request",
+            Frame::KnnRequest(KnnRequest {
+                request_id: 7,
+                q: Point::new(2.5, -3.25),
+                k: 5,
+            }),
+        ),
+        (
+            "window-request",
+            Frame::WindowRequest(WindowRequest {
+                request_id: 8,
+                c: Point::new(1.5, 2.5),
+                hx: 0.5,
+                hy: 0.25,
+            }),
+        ),
+        (
+            "knn-response",
+            Frame::KnnResponse(Box::new(KnnResponseFrame {
+                request_id: 7,
+                query_id: 1,
+                from_cache: false,
+                stages: StageNanos([1, 2, 3, 4, 5, 6]),
+                body: NnResponse {
+                    query: Point::new(2.5, -3.25),
+                    result: vec![item(11, 1.0, 2.0), item(12, 3.0, 4.0)],
+                    validity: NnValidity {
+                        pairs: vec![InfluencePair {
+                            inner: item(11, 1.0, 2.0),
+                            outer: item(13, 5.0, 6.0),
+                        }],
+                        polygon: ConvexPolygon::new(vec![
+                            Point::new(0.0, 0.0),
+                            Point::new(4.0, 0.0),
+                            Point::new(0.0, 4.0),
+                        ]),
+                        universe: Rect::new(0.0, 0.0, 10.0, 10.0),
+                    },
+                    tpnn_queries: 3,
+                },
+            })),
+        ),
+        (
+            "window-response",
+            Frame::WindowResponse(Box::new(WindowResponseFrame {
+                request_id: 8,
+                query_id: 2,
+                from_cache: true,
+                stages: StageNanos::default(),
+                body: WindowResponse {
+                    query: Point::new(1.5, 2.5),
+                    window: Rect::new(1.0, 2.25, 2.0, 2.75),
+                    result: vec![item(21, 1.5, 2.5)],
+                    validity: WindowValidity {
+                        half: (0.5, 0.25),
+                        inner_rect: Rect::new(1.25, 2.375, 1.75, 2.625),
+                        inner_influence: Vec::new(),
+                        outer_influence: vec![item(22, 3.0, 3.0)],
+                        conservative: Rect::new(1.125, 2.3125, 1.875, 2.6875),
+                    },
+                },
+            })),
+        ),
+        (
+            "error",
+            Frame::Error(ErrorFrame::new(
+                9,
+                ErrorCode::InvalidRequest,
+                "k=0 outside 1..=4096",
+            )),
+        ),
+    ]
+}
+
+/// Extracts every golden block from the doc: name → (bytes, true when
+/// the row offsets were consecutive and correct).
+fn parse_golden_blocks(doc: &str) -> BTreeMap<String, Vec<u8>> {
+    let mut blocks = BTreeMap::new();
+    let mut current: Option<(String, Vec<u8>)> = None;
+    for line in doc.lines() {
+        let trimmed = line.trim();
+        if let Some(name) = trimmed.strip_prefix("; golden-frame:") {
+            if let Some((n, b)) = current.take() {
+                assert!(blocks.insert(n.clone(), b).is_none(), "duplicate block {n}");
+            }
+            current = Some((name.trim().to_string(), Vec::new()));
+            continue;
+        }
+        let Some((name, bytes)) = current.as_mut() else {
+            continue;
+        };
+        match parse_hexdump_row(trimmed) {
+            Some((offset, row)) => {
+                assert_eq!(
+                    offset,
+                    bytes.len(),
+                    "golden-frame {name}: row offset {offset:#06x} does not match the \
+                     {} bytes before it",
+                    bytes.len()
+                );
+                bytes.extend_from_slice(&row);
+            }
+            None => {
+                // First non-hexdump line closes the block.
+                let (n, b) = current.take().expect("checked above");
+                assert!(blocks.insert(n.clone(), b).is_none(), "duplicate block {n}");
+            }
+        }
+    }
+    if let Some((n, b)) = current {
+        assert!(blocks.insert(n.clone(), b).is_none(), "duplicate block {n}");
+    }
+    blocks
+}
+
+/// One hexdump row: `0018  00 00 00 00 00 00 04 40  | q.x = 2.5`.
+/// Returns `None` for anything that is not a row.
+fn parse_hexdump_row(line: &str) -> Option<(usize, Vec<u8>)> {
+    let data = line.split('|').next().unwrap_or("");
+    let mut tokens = data.split_whitespace();
+    let offset_tok = tokens.next()?;
+    if offset_tok.len() != 4 {
+        return None;
+    }
+    let offset = usize::from_str_radix(offset_tok, 16).ok()?;
+    let mut bytes = Vec::new();
+    for tok in tokens {
+        if tok.len() != 2 {
+            return None;
+        }
+        bytes.push(u8::from_str_radix(tok, 16).ok()?);
+    }
+    if bytes.is_empty() {
+        return None;
+    }
+    Some((offset, bytes))
+}
+
+#[test]
+fn doc_hexdumps_pin_encoded_bytes() {
+    let blocks = parse_golden_blocks(DOC);
+    let frames = canonical_frames();
+    // Every canonical frame must be documented…
+    for (name, frame) in &frames {
+        let mut encoded = Vec::new();
+        encode_frame(frame, &mut encoded).expect("encode");
+        let doc_bytes = blocks
+            .get(*name)
+            .unwrap_or_else(|| panic!("docs/PROTOCOL.md has no `; golden-frame: {name}` hexdump"));
+        assert_eq!(
+            doc_bytes,
+            &encoded,
+            "golden-frame {name}: the hexdump in docs/PROTOCOL.md no longer matches \
+             the encoder (doc {} bytes, encoder {} bytes) — spec drift",
+            doc_bytes.len(),
+            encoded.len()
+        );
+    }
+    // …and every documented hexdump must correspond to a canonical
+    // frame (a renamed or orphaned block is drift too).
+    for name in blocks.keys() {
+        assert!(
+            frames.iter().any(|(n, _)| n == name),
+            "docs/PROTOCOL.md documents golden-frame {name:?} which this test does not generate"
+        );
+    }
+    assert_eq!(blocks.len(), frames.len());
+}
+
+/// Regeneration helper (not a check): `cargo test -p lbq-proto
+/// print_golden_hexdumps -- --ignored --nocapture` prints raw 8-byte
+/// hexdump rows for every canonical frame, ready to be reflowed into
+/// the field-aligned annotated form the doc uses.
+#[test]
+#[ignore = "manual helper for regenerating docs/PROTOCOL.md hexdumps"]
+fn print_golden_hexdumps() {
+    for (name, frame) in canonical_frames() {
+        let mut encoded = Vec::new();
+        encode_frame(&frame, &mut encoded).expect("encode");
+        println!("; golden-frame: {name}   ({} bytes)", encoded.len());
+        for (i, chunk) in encoded.chunks(8).enumerate() {
+            let hex: Vec<String> = chunk.iter().map(|b| format!("{b:02x}")).collect();
+            println!("{:04x}  {}", i * 8, hex.join(" "));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,283 @@
+//! Encode→decode identity for every frame type, over seeded-random
+//! frame populations. The identity is stated on *bytes*: decoding a
+//! frame and re-encoding the result must reproduce the input
+//! bit-for-bit (floats included — the wire carries raw IEEE bit
+//! patterns), which is exactly the currency of the byte-identical
+//! serving contract.
+
+use lbq_core::{InfluencePair, NnResponse, NnValidity, WindowResponse, WindowValidity};
+use lbq_geom::{ConvexPolygon, Point, Rect};
+use lbq_obs::StageNanos;
+use lbq_proto::{
+    decode_frame, encode_frame, Decoded, ErrorFrame, Frame, KnnRequest, KnnResponseFrame,
+    WindowRequest, WindowResponseFrame, DEFAULT_CLIENT_MAX_PAYLOAD,
+};
+use lbq_rng::Xoshiro256ss;
+use lbq_rtree::Item;
+
+fn rt_bytes(frame: &Frame) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    encode_frame(frame, &mut bytes).expect("encode");
+    // Decode must consume exactly the encoded frame…
+    let decoded = match decode_frame(&bytes, DEFAULT_CLIENT_MAX_PAYLOAD).expect("decode") {
+        Decoded::Frame { frame, consumed } => {
+            assert_eq!(consumed, bytes.len(), "partial consumption");
+            frame
+        }
+        other => panic!("round trip produced {other:?}"),
+    };
+    // …and re-encoding the decoded frame must reproduce the bytes.
+    let mut again = Vec::new();
+    encode_frame(&decoded, &mut again).expect("re-encode");
+    assert_eq!(bytes, again, "re-encoded bytes differ");
+    bytes
+}
+
+fn rand_point(rng: &mut Xoshiro256ss) -> Point {
+    Point::new(rng.gen_f64() * 100.0 - 50.0, rng.gen_f64() * 100.0 - 50.0)
+}
+
+fn rand_item(rng: &mut Xoshiro256ss) -> Item {
+    Item::new(rand_point(rng), rng.next_u64())
+}
+
+fn rand_items(rng: &mut Xoshiro256ss, n: usize) -> Vec<Item> {
+    (0..n).map(|_| rand_item(rng)).collect()
+}
+
+fn rand_rect(rng: &mut Xoshiro256ss) -> Rect {
+    let x = rng.gen_f64() * 50.0;
+    let y = rng.gen_f64() * 50.0;
+    Rect {
+        xmin: x,
+        ymin: y,
+        xmax: x + rng.gen_f64() * 50.0 + 0.1,
+        ymax: y + rng.gen_f64() * 50.0 + 0.1,
+    }
+}
+
+/// A guaranteed-valid CCW convex polygon: a regular n-gon, possibly
+/// empty (the validity polygon of a clipped-away region).
+fn rand_polygon(rng: &mut Xoshiro256ss) -> ConvexPolygon {
+    let n = rng.gen_index(9); // 0..=8
+    if n < 3 {
+        return ConvexPolygon::new(Vec::new());
+    }
+    let c = rand_point(rng);
+    let r = 1.0 + rng.gen_f64() * 10.0;
+    let phase = rng.gen_f64();
+    let verts: Vec<Point> = (0..n)
+        .map(|i| {
+            let a = phase + (i as f64) * std::f64::consts::TAU / (n as f64);
+            Point::new(c.x + r * a.cos(), c.y + r * a.sin())
+        })
+        .collect();
+    ConvexPolygon::new(verts)
+}
+
+fn rand_stages(rng: &mut Xoshiro256ss) -> StageNanos {
+    let mut s = StageNanos::default();
+    for slot in s.0.iter_mut() {
+        *slot = rng.next_u64() >> (rng.gen_index(64));
+    }
+    s
+}
+
+#[test]
+fn knn_request_roundtrip() {
+    let mut rng = Xoshiro256ss::seed_from_u64(0x5eed_0001);
+    for _ in 0..500 {
+        let f = Frame::KnnRequest(KnnRequest {
+            request_id: rng.next_u64(),
+            q: rand_point(&mut rng),
+            k: (rng.gen_index(4096) + 1) as u32,
+        });
+        let bytes = rt_bytes(&f);
+        assert_eq!(bytes.len(), 12 + 28, "kNN request is fixed-size");
+    }
+}
+
+#[test]
+fn window_request_roundtrip() {
+    let mut rng = Xoshiro256ss::seed_from_u64(0x5eed_0002);
+    for _ in 0..500 {
+        let f = Frame::WindowRequest(WindowRequest {
+            request_id: rng.next_u64(),
+            c: rand_point(&mut rng),
+            hx: rng.gen_f64() * 10.0 + 1e-3,
+            hy: rng.gen_f64() * 10.0 + 1e-3,
+        });
+        let bytes = rt_bytes(&f);
+        assert_eq!(bytes.len(), 12 + 40, "window request is fixed-size");
+    }
+}
+
+#[test]
+fn knn_response_roundtrip() {
+    let mut rng = Xoshiro256ss::seed_from_u64(0x5eed_0003);
+    for round in 0..200 {
+        let k = rng.gen_index(12);
+        let npairs = rng.gen_index(10);
+        let f = Frame::KnnResponse(Box::new(KnnResponseFrame {
+            request_id: rng.next_u64(),
+            query_id: rng.next_u64(),
+            from_cache: rng.gen_bool(0.3),
+            stages: rand_stages(&mut rng),
+            body: NnResponse {
+                query: rand_point(&mut rng),
+                result: rand_items(&mut rng, k),
+                validity: NnValidity {
+                    pairs: (0..npairs)
+                        .map(|_| InfluencePair {
+                            inner: rand_item(&mut rng),
+                            outer: rand_item(&mut rng),
+                        })
+                        .collect(),
+                    polygon: rand_polygon(&mut rng),
+                    universe: rand_rect(&mut rng),
+                },
+                tpnn_queries: rng.gen_index(1000),
+            },
+        }));
+        let bytes = rt_bytes(&f);
+        // Spot-check the decoded fields on the first round.
+        if round == 0 {
+            let Decoded::Frame { frame, .. } =
+                decode_frame(&bytes, DEFAULT_CLIENT_MAX_PAYLOAD).expect("decode")
+            else {
+                panic!("expected frame")
+            };
+            let Frame::KnnResponse(d) = frame else {
+                panic!("expected kNN response")
+            };
+            let Frame::KnnResponse(orig) = &f else {
+                unreachable!()
+            };
+            assert_eq!(d.request_id, orig.request_id);
+            assert_eq!(d.query_id, orig.query_id);
+            assert_eq!(d.from_cache, orig.from_cache);
+            assert_eq!(d.stages.0, orig.stages.0);
+            assert_eq!(d.body.result.len(), orig.body.result.len());
+            assert_eq!(d.body.tpnn_queries, orig.body.tpnn_queries);
+            assert_eq!(
+                d.body.validity.polygon.vertices(),
+                orig.body.validity.polygon.vertices()
+            );
+        }
+    }
+}
+
+#[test]
+fn window_response_roundtrip() {
+    let mut rng = Xoshiro256ss::seed_from_u64(0x5eed_0004);
+    for _ in 0..200 {
+        let hx = rng.gen_f64() * 5.0 + 0.1;
+        let hy = rng.gen_f64() * 5.0 + 0.1;
+        let nres = rng.gen_index(20);
+        let ninner = rng.gen_index(5);
+        let nouter = rng.gen_index(5);
+        let f = Frame::WindowResponse(Box::new(WindowResponseFrame {
+            request_id: rng.next_u64(),
+            query_id: rng.next_u64(),
+            from_cache: rng.gen_bool(0.3),
+            stages: rand_stages(&mut rng),
+            body: WindowResponse {
+                query: rand_point(&mut rng),
+                window: rand_rect(&mut rng),
+                result: rand_items(&mut rng, nres),
+                validity: WindowValidity {
+                    half: (hx, hy),
+                    inner_rect: rand_rect(&mut rng),
+                    inner_influence: rand_items(&mut rng, ninner),
+                    outer_influence: rand_items(&mut rng, nouter),
+                    conservative: rand_rect(&mut rng),
+                },
+            },
+        }));
+        rt_bytes(&f);
+    }
+}
+
+#[test]
+fn error_roundtrip() {
+    let mut rng = Xoshiro256ss::seed_from_u64(0x5eed_0005);
+    for _ in 0..300 {
+        let code = rng.next_u64() as u32;
+        let detail: String = (0..rng.gen_index(100))
+            .map(|_| char::from(b'a' + (rng.gen_index(26)) as u8))
+            .collect();
+        let f = Frame::Error(ErrorFrame {
+            request_id: rng.next_u64(),
+            code,
+            detail: detail.clone(),
+        });
+        let bytes = rt_bytes(&f);
+        let Decoded::Frame { frame, .. } =
+            decode_frame(&bytes, DEFAULT_CLIENT_MAX_PAYLOAD).expect("decode")
+        else {
+            panic!("expected frame")
+        };
+        let Frame::Error(d) = frame else {
+            panic!("expected error frame")
+        };
+        assert_eq!(d.code, code, "unknown codes survive as raw numbers");
+        assert_eq!(d.detail, detail);
+    }
+}
+
+#[test]
+fn special_floats_roundtrip_bit_exact() {
+    // The wire carries IEEE bit patterns: negative zero, infinities,
+    // subnormals and NaN payloads survive untouched.
+    for &x in &[
+        -0.0,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::MIN_POSITIVE / 2.0,
+        f64::from_bits(0x7ff8_dead_beef_0001),
+        f64::MAX,
+    ] {
+        let f = Frame::WindowRequest(WindowRequest {
+            request_id: 1,
+            c: Point::new(x, -x),
+            hx: x,
+            hy: 1.0,
+        });
+        let bytes = rt_bytes(&f); // rt_bytes already asserts byte identity
+        assert_eq!(bytes.len(), 52);
+    }
+}
+
+#[test]
+fn utf8_details_roundtrip() {
+    let f = Frame::Error(ErrorFrame {
+        request_id: 9,
+        code: 5,
+        detail: "polígono inválido — 多角形 🚫".to_string(),
+    });
+    rt_bytes(&f);
+}
+
+#[test]
+fn oversized_detail_truncates_on_char_boundary() {
+    // 70 000 bytes of 3-byte chars: the encoder must cut ≤ 65 535 on a
+    // boundary and still produce a decodable frame.
+    let detail = "€".repeat(70_000 / 3);
+    let f = Frame::Error(ErrorFrame {
+        request_id: 1,
+        code: 5,
+        detail,
+    });
+    let mut bytes = Vec::new();
+    encode_frame(&f, &mut bytes).expect("encode");
+    let Decoded::Frame { frame, .. } =
+        decode_frame(&bytes, DEFAULT_CLIENT_MAX_PAYLOAD).expect("decode")
+    else {
+        panic!("expected frame")
+    };
+    let Frame::Error(d) = frame else {
+        panic!("expected error frame")
+    };
+    assert!(d.detail.len() <= u16::MAX as usize);
+    assert!(d.detail.chars().all(|c| c == '€'));
+}

@@ -1,0 +1,121 @@
+//! A fleet of TCP clients against a loopback `lbq-net` server.
+//!
+//! The network sibling of `moving_fleet`: a NA-like dataset is served
+//! over real sockets, a handful of client threads pipeline kNN and
+//! window requests, and every response is checked **byte-for-byte**
+//! against the in-process encoding of the baseline answer — the
+//! serving stack's byte-identical contract, exercised end to end.
+//!
+//! ```text
+//! cargo run --release -p lbq-net --example loopback_fleet
+//! ```
+
+use lbq_core::LbqServer;
+use lbq_data::na_like_sized;
+use lbq_geom::Point;
+use lbq_net::{NetClient, NetConfig, NetServer};
+use lbq_proto::{encode_query_response, Frame};
+use lbq_rng::Xoshiro256ss;
+use lbq_rtree::{RTree, RTreeConfig};
+use lbq_serve::{answer_on, CacheConfig, Engine, EngineConfig, QueryReq, QueryResp};
+use std::sync::Arc;
+use std::time::Instant;
+
+const CLIENTS: u64 = 8;
+const REQUESTS_PER_CLIENT: u64 = 250;
+
+fn main() {
+    let data = na_like_sized(20_000, 42);
+    println!("dataset: {} ({} points)", data.name, data.len());
+    let server = Arc::new(LbqServer::new(
+        RTree::bulk_load(data.items.clone(), RTreeConfig::paper()),
+        data.universe,
+    ));
+    // Cache disabled: every socket response must equal the pure
+    // baseline encoding (cache hits would anchor answers at the
+    // original query, which is correct but not bit-comparable).
+    let engine = Arc::new(Engine::new(
+        Arc::clone(&server),
+        EngineConfig {
+            cache: CacheConfig::disabled(),
+            ..EngineConfig::default()
+        },
+    ));
+    let mut net =
+        NetServer::bind("127.0.0.1:0", engine, NetConfig::default()).expect("bind loopback");
+    let addr = net.local_addr();
+    println!("serving on {addr} — {CLIENTS} clients × {REQUESTS_PER_CLIENT} pipelined requests\n");
+
+    let start = Instant::now();
+    let universe = data.universe;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let mut rng = Xoshiro256ss::seed_from_u64(0xF1EE7 + c);
+                let mut client = NetClient::connect(addr).expect("connect");
+                let span = (universe.xmax - universe.xmin, universe.ymax - universe.ymin);
+                let reqs: Vec<(u64, QueryReq)> = (0..REQUESTS_PER_CLIENT)
+                    .map(|i| {
+                        let p = Point::new(
+                            universe.xmin + rng.gen_f64() * span.0,
+                            universe.ymin + rng.gen_f64() * span.1,
+                        );
+                        let req = if rng.gen_bool(0.5) {
+                            QueryReq::knn(p, 1 + rng.gen_index(10))
+                        } else {
+                            QueryReq::window(
+                                p,
+                                span.0 * 0.005 * (0.2 + rng.gen_f64()),
+                                span.1 * 0.005 * (0.2 + rng.gen_f64()),
+                            )
+                        };
+                        ((c << 32) | i, req)
+                    })
+                    .collect();
+                for (id, req) in &reqs {
+                    client.send_query(*id, req).expect("send");
+                }
+                client.shutdown_write().expect("half-close");
+                let mut seen = std::collections::HashMap::new();
+                for _ in 0..reqs.len() {
+                    let (frame, raw) = client.recv_raw().expect("recv");
+                    seen.insert(frame.request_id(), (frame, raw));
+                }
+                let mut verified = 0u64;
+                for (id, req) in &reqs {
+                    let (frame, raw) = &seen[id];
+                    let query_id = match frame {
+                        Frame::KnnResponse(r) => r.query_id,
+                        Frame::WindowResponse(r) => r.query_id,
+                        other => panic!("unexpected frame {other:?}"),
+                    };
+                    let resp = QueryResp {
+                        answer: Arc::new(answer_on(&server, req)),
+                        from_cache: false,
+                        worker: 0,
+                        latency_ns: 0,
+                        query_id,
+                        stages: Default::default(),
+                    };
+                    let mut expected = Vec::new();
+                    encode_query_response(*id, &resp, &mut expected).expect("encode");
+                    assert_eq!(raw, &expected, "byte-identical contract violated");
+                    verified += 1;
+                }
+                verified
+            })
+        })
+        .collect();
+    let verified: u64 = handles.into_iter().map(|h| h.join().expect("client")).sum();
+    let elapsed = start.elapsed();
+    let total = CLIENTS * REQUESTS_PER_CLIENT;
+    println!(
+        "{total} requests over TCP in {:.2?} ({:.0} q/s), {verified} responses byte-identical \
+         to the in-process encoding\n",
+        elapsed,
+        total as f64 / elapsed.as_secs_f64(),
+    );
+    net.shutdown();
+    lbq_obs::print_metrics("network serving");
+}
