@@ -95,16 +95,32 @@ cargo run --release -q -p lbq-bench --bin pr8_bench -- --quick >/dev/null
 echo "== pr8 bench artifact check"
 cargo run --release -q -p lbq-bench --bin pr8_bench -- --check BENCH_PR8.json
 
-echo "== loopback_fleet (byte-identical network serving)"
+echo "== pr9 bench smoke (hot-tile Voronoi fast path)"
+cargo run --release -q -p lbq-bench --bin pr9_bench -- --quick >/dev/null
+
+echo "== pr9 bench artifact check"
+cargo run --release -q -p lbq-bench --bin pr9_bench -- --check BENCH_PR9.json
+
+echo "== bench trend (speedup trajectory across all reports)"
+cargo run --release -q -p lbq-bench --bin bench_trend
+
+echo "== loopback_fleet (byte-identical network serving + hotspot tiers)"
 out="$(cargo run --release -q -p lbq-net --example loopback_fleet 2>/dev/null)"
 echo "$out" | grep -q "byte-identical" || {
     echo "ci: loopback_fleet did not report byte-identical responses" >&2
+    exit 1
+}
+echo "$out" | grep -q "hot-voronoi" || {
+    echo "ci: loopback_fleet hotspot phase did not report the hot-voronoi tier" >&2
     exit 1
 }
 echo "$out" | grep -q "== lbq-obs profile ==" || {
     echo "ci: loopback_fleet did not print a profile table" >&2
     exit 1
 }
+
+echo "== serve hot-tier equivalence tests"
+cargo test --release -q -p lbq-serve --test hot
 
 echo "== pr7 serve smoke (exporter schema + slow-query capture)"
 # A live engine under the snapshot exporter: bit-identical results

@@ -1,0 +1,169 @@
+//! Speedup-trajectory table across every `BENCH_*.json` in the CWD.
+//!
+//! Each PR's harness freezes its headline numbers into a
+//! machine-readable report; this bin reads them all back and prints
+//! one table showing how the stack's performance story has compounded
+//! — per-primitive speedups (PR 4/5), observability overhead (PR 7),
+//! network throughput (PR 8), and the hot-tile fast path (PR 9).
+//! Reports with an unrecognized schema are listed, not fatal: the
+//! trend table must keep working as future PRs add reports.
+//!
+//! ```text
+//! cargo run --release -p lbq-bench --bin bench_trend
+//! ```
+
+use lbq_bench::jsonv::{self, Json};
+
+struct Row {
+    report: String,
+    entry: String,
+    metric: &'static str,
+    value: String,
+}
+
+fn fmt_x(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Headline rows for one parsed report, dispatched on its `bench` tag.
+fn rows_for(file: &str, v: &Json) -> Vec<Row> {
+    let row = |entry: &str, metric: &'static str, value: String| Row {
+        report: file.to_string(),
+        entry: entry.to_string(),
+        metric,
+        value,
+    };
+    let f64_at = |path: &[&str]| -> Option<f64> {
+        let mut cur = v;
+        for key in path {
+            cur = cur.get(key)?;
+        }
+        cur.as_f64()
+    };
+    match v.get("bench").and_then(Json::as_str) {
+        // PR 4 and PR 5 share the entries[] before/after schema.
+        Some("pr4-soa-scratch") | Some("pr5-locality-pipeline") => v
+            .get("entries")
+            .and_then(Json::as_arr)
+            .map(|entries| {
+                entries
+                    .iter()
+                    .filter_map(|e| {
+                        let name = e.get("name").and_then(Json::as_str)?;
+                        let speedup = e.get("speedup").and_then(Json::as_f64)?;
+                        Some(row(name, "speedup", fmt_x(speedup)))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default(),
+        Some("pr7-observability") => {
+            let mut out = Vec::new();
+            if let Some(r) = f64_at(&["serve", "on_over_off"]) {
+                out.push(row("serve obs-on/off", "overhead", format!("{r:.4}")));
+            }
+            if let Some(r) = f64_at(&["serve", "vs_pr5"]) {
+                out.push(row("serve obs-off vs pr5", "ratio", format!("{r:.4}")));
+            }
+            out
+        }
+        Some("pr8-network-serving") => {
+            let mut out = Vec::new();
+            if let Some(q) = f64_at(&["fleet", "qps"]) {
+                out.push(row("loopback fleet", "qps", format!("{q:.0}")));
+            }
+            if let (Some(total), Some(ok)) = (
+                f64_at(&["fleet", "requests"]),
+                f64_at(&["fleet", "byte_identical"]),
+            ) {
+                out.push(row(
+                    "byte-identical",
+                    "verified",
+                    format!("{ok:.0}/{total:.0}"),
+                ));
+            }
+            out
+        }
+        Some("pr9-hot-voronoi") => {
+            let mut out = Vec::new();
+            if let Some(s) = f64_at(&["hot", "speedup"]) {
+                out.push(row("hot-tile fast path", "speedup", fmt_x(s)));
+            }
+            if let Some(h) = f64_at(&["hot", "hit_share"]) {
+                out.push(row(
+                    "steady-state hits",
+                    "share",
+                    format!("{:.1}%", h * 100.0),
+                ));
+            }
+            if let Some(c) = f64_at(&["cold", "cold_overhead"]) {
+                out.push(row("uniform cold stream", "overhead", format!("{c:.4}")));
+            }
+            out
+        }
+        Some(other) => vec![row(other, "schema", "(no trend extractor)".into())],
+        None => vec![row("?", "schema", "(missing bench tag)".into())],
+    }
+}
+
+fn main() -> std::process::ExitCode {
+    let mut files: Vec<String> = std::fs::read_dir(".")
+        .expect("read CWD")
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        eprintln!("bench_trend: no BENCH_*.json in the current directory");
+        return std::process::ExitCode::FAILURE;
+    }
+
+    let mut rows = Vec::new();
+    for file in &files {
+        match std::fs::read_to_string(file)
+            .map_err(|e| e.to_string())
+            .and_then(|text| jsonv::parse(&text))
+        {
+            Ok(v) => rows.extend(rows_for(file, &v)),
+            Err(e) => rows.push(Row {
+                report: file.clone(),
+                entry: "?".into(),
+                metric: "error",
+                value: e,
+            }),
+        }
+    }
+
+    println!("== bench trend ({} reports)", files.len());
+    let w0 = rows
+        .iter()
+        .map(|r| r.report.len())
+        .max()
+        .unwrap_or(6)
+        .max(6);
+    let w1 = rows.iter().map(|r| r.entry.len()).max().unwrap_or(5).max(5);
+    let w2 = rows
+        .iter()
+        .map(|r| r.metric.len())
+        .max()
+        .unwrap_or(6)
+        .max(6);
+    println!(
+        "{:<w0$}  {:<w1$}  {:<w2$}  value",
+        "report", "entry", "metric"
+    );
+    let mut prev = "";
+    for r in &rows {
+        let report = if r.report == prev {
+            ""
+        } else {
+            r.report.as_str()
+        };
+        prev = &r.report;
+        println!(
+            "{report:<w0$}  {:<w1$}  {:<w2$}  {}",
+            r.entry, r.metric, r.value
+        );
+    }
+    std::process::ExitCode::SUCCESS
+}

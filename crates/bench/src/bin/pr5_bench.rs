@@ -372,6 +372,8 @@ fn run(quick: bool) -> Report {
             workers,
             cache: CacheConfig::disabled(),
             tile_size: 1,
+            hot: lbq_serve::HotConfig::disabled(),
+            ..EngineConfig::default()
         },
     );
     let eng_after = Engine::new(
@@ -383,6 +385,8 @@ fn run(quick: bool) -> Report {
             workers,
             cache: CacheConfig::disabled(),
             tile_size: TILE,
+            hot: lbq_serve::HotConfig::disabled(),
+            ..EngineConfig::default()
         },
     );
     let reqs: Vec<QueryReq> = hotspot_points(batch / TILE, TILE, 0.002, 13)

@@ -149,6 +149,8 @@ fn run(quick: bool) -> Report {
             workers,
             cache: CacheConfig::disabled(),
             tile_size: TILE,
+            hot: lbq_serve::HotConfig::disabled(),
+            ..EngineConfig::default()
         },
     );
     let reqs: Vec<QueryReq> = hotspot_points(batch / TILE, TILE, 0.002, 13)
@@ -343,6 +345,8 @@ fn serve_smoke(snapshot_path: &str) {
                 workers: 4,
                 cache: CacheConfig::disabled(),
                 tile_size: TILE,
+                hot: lbq_serve::HotConfig::disabled(),
+                ..EngineConfig::default()
             },
         )
     };

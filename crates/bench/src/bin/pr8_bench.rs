@@ -99,16 +99,18 @@ fn run(quick: bool) -> Report {
         RTree::bulk_load_packed(data.items.clone(), RTreeConfig::paper()),
         data.universe,
     ));
-    // Cache disabled: a cache hit anchors its answer at the *original*
-    // query's focus — correct, but not bit-comparable to the fresh
-    // baseline. With the cache off, every response is the pure function
-    // of its request that the byte-identical contract is stated over.
+    // Cache and hot tier disabled: a hit on either anchors its answer
+    // at the *original* query's focus — correct, but not bit-comparable
+    // to the fresh baseline. With both off, every response is the pure
+    // function of its request that the byte-identical contract is
+    // stated over.
     let engine = Arc::new(Engine::new(
         Arc::clone(&server),
         EngineConfig {
             workers: std::thread::available_parallelism().map_or(2, |w| w.get().min(8)),
             cache: CacheConfig::disabled(),
             tile_size: 32,
+            hot: lbq_serve::HotConfig::disabled(),
         },
     ));
     let mut net =
@@ -178,6 +180,7 @@ fn run(quick: bool) -> Report {
             let resp = QueryResp {
                 answer: Arc::new(answer_on(&server, req)),
                 from_cache: false,
+                tier: lbq_serve::CacheTier::Tree,
                 worker: 0,     // not on the wire
                 latency_ns: 0, // not on the wire
                 query_id,

@@ -1,0 +1,450 @@
+//! Hot-tile Voronoi fast-path harness, emitting machine-readable
+//! `BENCH_PR9.json`.
+//!
+//! The contract under test: repeat kNN traffic into promoted tiles is
+//! answered by point location into lazily materialized order-k cells
+//! **at least 1.5× faster** than the full kNN → TPNN → clip pipeline,
+//! while cold traffic pays nothing measurable for the tier's
+//! existence. Three measurement groups:
+//!
+//! | group | what |
+//! |---|---|
+//! | `hot` | steady-state hotspot batches, hot tier on vs off (`speedup ≥ 1.5`), plus the promoted-tile hit share |
+//! | `cold` | a uniform never-promoting stream on a hot-enabled vs hot-disabled engine (`cold_overhead ≤ 1.05`), and the hot-disabled hotspot measurement against the PR 7 obs-off baseline — the identical workload on the identical engine shape (`vs_pr7 ≤ 1.03`) |
+//! | equivalence | every hot-engine answer carries the same result-id set as the on-line construction (anchored answers re-focus the query, so bytes are compared per tier in `loopback_fleet`, ids here) |
+//!
+//! Modes:
+//!
+//! * default (full): paper-scale dataset; requires `BENCH_PR7.json` in
+//!   the CWD (regenerate with `pr7_bench` on the same machine — ratios
+//!   across machines are meaningless), enforces all three gates and
+//!   writes `BENCH_PR9.json`;
+//! * `--quick`: ~10× smaller CI smoke, no gates (CI timing is noise),
+//!   writes `target/BENCH_PR9.quick.json`;
+//! * `--check <file>`: parses an existing report and asserts the
+//!   schema; no benchmarking.
+
+use lbq_bench::jsonv::{self, Json};
+use lbq_core::LbqServer;
+use lbq_geom::{Point, Rect};
+use lbq_rtree::{Item, RTree, RTreeConfig};
+use lbq_serve::{answer_on, CacheConfig, CacheTier, Engine, EngineConfig, HotConfig, QueryReq};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const TILE: usize = 32;
+const K: usize = 10;
+const SPEEDUP_MIN: f64 = 1.5;
+const COLD_OVERHEAD_MAX: f64 = 1.05;
+const VS_PR7_MAX: f64 = 1.03;
+
+fn random_items(n: usize, seed: u64) -> Vec<Item> {
+    let mut rng = lbq_rng::Xoshiro256ss::seed_from_u64(seed);
+    (0..n)
+        .map(|i| Item::new(Point::new(rng.gen_f64(), rng.gen_f64()), i as u64))
+        .collect()
+}
+
+/// The same hotspot shape `pr5_bench`/`pr7_bench` time — clustered
+/// batches are both the grouping optimization's and the hot tier's
+/// motivating workload, so the ratios compare like against like.
+fn hotspot_points(clusters: usize, per: usize, radius: f64, seed: u64) -> Vec<Point> {
+    let mut rng = lbq_rng::Xoshiro256ss::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(clusters * per);
+    for _ in 0..clusters {
+        let c = Point::new(0.1 + 0.8 * rng.gen_f64(), 0.1 + 0.8 * rng.gen_f64());
+        for _ in 0..per {
+            out.push(Point::new(
+                c.x + radius * (2.0 * rng.gen_f64() - 1.0),
+                c.y + radius * (2.0 * rng.gen_f64() - 1.0),
+            ));
+        }
+    }
+    out
+}
+
+fn uniform_points(count: usize, seed: u64) -> Vec<Point> {
+    let mut rng = lbq_rng::Xoshiro256ss::seed_from_u64(seed);
+    (0..count)
+        .map(|_| Point::new(rng.gen_f64(), rng.gen_f64()))
+        .collect()
+}
+
+/// Fastest-of-five batches, ns per iteration (see `pr4_bench` for the
+/// noise rationale).
+fn measure<T>(iters: usize, mut f: impl FnMut(usize) -> T) -> f64 {
+    for i in 0..iters.min(16) {
+        black_box(f(i));
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for i in 0..iters {
+            black_box(f(i));
+        }
+        best = best.min(t.elapsed().as_secs_f64() * 1e9);
+    }
+    best / iters as f64
+}
+
+struct Report {
+    mode: &'static str,
+    n: usize,
+    batch: usize,
+    clusters: usize,
+    hot_on_ns: f64,
+    hot_off_ns: f64,
+    hit_share: f64,
+    promoted_tiles: usize,
+    cells: u64,
+    hot_hits: u64,
+    uniform_on_ns: f64,
+    uniform_off_ns: f64,
+    pr7_obs_off_ns: Option<f64>,
+}
+
+impl Report {
+    fn speedup(&self) -> f64 {
+        // lbq-check: allow(local-epsilon) — divide-by-zero floor, not a tolerance
+        self.hot_off_ns / self.hot_on_ns.max(1e-9)
+    }
+
+    fn cold_overhead(&self) -> f64 {
+        // lbq-check: allow(local-epsilon) — divide-by-zero floor, not a tolerance
+        self.uniform_on_ns / self.uniform_off_ns.max(1e-9)
+    }
+
+    /// The cold-pipeline regression check: `hot_off_ns` re-measures the
+    /// exact workload `pr7_bench` timed for `obs_off_ns` (same dataset
+    /// seed, same hotspot batches, same engine shape), so the ratio is
+    /// like-for-like. The *uniform* measurements are not comparable to
+    /// the PR 7 baseline — scattered batches defeat the grouping
+    /// optimization and cost ~2.7× more per batch by design.
+    fn vs_pr7(&self) -> Option<f64> {
+        // lbq-check: allow(local-epsilon) — divide-by-zero floor, not a tolerance
+        self.pr7_obs_off_ns.map(|b| self.hot_off_ns / b.max(1e-9))
+    }
+}
+
+/// Reads the serve `obs_off_ns` out of a `BENCH_PR7.json`.
+fn pr7_obs_off(path: &str) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let v = jsonv::parse(&text)?;
+    v.get("serve")
+        .and_then(|s| s.get("obs_off_ns"))
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{path}: no serve.obs_off_ns"))
+}
+
+fn run(quick: bool) -> Report {
+    let (n, batch) = if quick {
+        (10_000, 128)
+    } else {
+        (400_000, 1024)
+    };
+    let clusters = batch / TILE;
+    let universe = Rect::new(0.0, 0.0, 1.0, 1.0);
+    println!("pr9_bench: n={n}, batch={batch}, clusters={clusters}, k={K}");
+
+    let server = Arc::new(LbqServer::new(
+        RTree::bulk_load_packed(random_items(n, 0xC0FFEE), RTreeConfig::paper()),
+        universe,
+    ));
+    // Same engine shape as pr7_bench's obs-off side (repacked tree,
+    // Hilbert tiles, region cache disabled so the comparison isolates
+    // the hot tier, not cache hit rates), once per hot setting.
+    let workers = std::thread::available_parallelism().map_or(2, |w| w.get().min(8));
+    let mk = |hot: HotConfig| {
+        Engine::new(
+            Arc::clone(&server),
+            EngineConfig {
+                workers,
+                cache: CacheConfig::disabled(),
+                tile_size: TILE,
+                hot,
+                ..EngineConfig::default()
+            },
+        )
+    };
+    // Quick mode's 10k-site tree has an 11th-NN radius wider than the
+    // default fetch apron — soundness would correctly refuse to serve.
+    // A wider margin keeps the fast path exercised; full mode runs the
+    // production default.
+    let hot_cfg = HotConfig {
+        max_tiles: 128,
+        margin: if quick {
+            2.0
+        } else {
+            HotConfig::default().margin
+        },
+        ..HotConfig::default()
+    };
+    let cold_engine = mk(HotConfig::disabled());
+    let hot_engine = mk(hot_cfg);
+
+    let reqs: Vec<QueryReq> = hotspot_points(clusters, TILE, 0.002, 13)
+        .into_iter()
+        .map(|p| QueryReq::knn(p, K))
+        .collect();
+
+    // -- equivalence + warmup ------------------------------------------
+    // Repeat batches drive promotion (traffic crosses `promote_after`)
+    // and then memoization (each cold miss on a promoted tile parks its
+    // fresh answer in the tile). Every response along the way must
+    // carry the on-line result set.
+    let baseline: Vec<Vec<u64>> = reqs
+        .iter()
+        .map(|r| answer_on(&server, r).result_ids())
+        .collect();
+    let mut last_hot = 0u64;
+    for round in 0..12 {
+        let resps = hot_engine.submit(reqs.clone());
+        last_hot = 0;
+        for (i, resp) in resps.iter().enumerate() {
+            assert_eq!(
+                resp.answer.result_ids(),
+                baseline[i],
+                "round {round}, request {i}: hot-engine answer diverged \
+                 from on-line construction (tier {:?})",
+                resp.tier,
+            );
+            if resp.tier == CacheTier::HotVoronoi {
+                last_hot += 1;
+            }
+        }
+    }
+    let stats = hot_engine.hot_stats();
+    let hit_share = last_hot as f64 / reqs.len() as f64;
+    println!(
+        "warmup: {} tiles promoted, {} cells, steady-state hit share {:.1}%",
+        stats.hot_tiles,
+        stats.cells,
+        hit_share * 100.0,
+    );
+    assert!(
+        stats.hits > 0 && last_hot > 0,
+        "hotspot workload never hit the hot tier (promotions {}, hits {})",
+        stats.promotions,
+        stats.hits,
+    );
+
+    // -- hot: steady-state hotspot batches, tier on vs off -------------
+    let hot_on_ns = measure(8, |_| hot_engine.submit(reqs.clone()).len());
+    let hot_off_ns = measure(8, |_| cold_engine.submit(reqs.clone()).len());
+
+    // -- cold: a uniform stream never crosses the promotion threshold --
+    // so this measures pure probe overhead: tile-of + one counter bump
+    // per kNN request. Each measurement round submits a *distinct*
+    // batch (resubmitting one fixed batch would concentrate repeat
+    // traffic on its tiles and eventually promote them).
+    let rounds: Vec<Vec<QueryReq>> = (0..64)
+        .map(|r| {
+            uniform_points(batch, 31 + r)
+                .into_iter()
+                .map(|p| QueryReq::knn(p, K))
+                .collect()
+        })
+        .collect();
+    let uniform_engine = mk(hot_cfg);
+    let uniform_on_ns = measure(8, |i| uniform_engine.submit(rounds[i % 64].clone()).len());
+    let uniform_off_ns = measure(8, |i| cold_engine.submit(rounds[i % 64].clone()).len());
+    assert_eq!(
+        uniform_engine.hot_stats().promotions,
+        0,
+        "uniform stream unexpectedly promoted a tile — cold overhead \
+         measurement is contaminated",
+    );
+
+    let stats = hot_engine.hot_stats();
+    Report {
+        mode: if quick { "quick" } else { "full" },
+        n,
+        batch,
+        clusters,
+        hot_on_ns,
+        hot_off_ns,
+        hit_share,
+        promoted_tiles: stats.hot_tiles,
+        cells: stats.cells,
+        hot_hits: stats.hits,
+        uniform_on_ns,
+        uniform_off_ns,
+        // Quick mode runs a 10× smaller dataset than the PR 7 full
+        // report — the ratio would compare different workloads.
+        pr7_obs_off_ns: if quick {
+            None
+        } else {
+            pr7_obs_off("BENCH_PR7.json").ok()
+        },
+    }
+}
+
+fn render_json(r: &Report) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"pr9-hot-voronoi\",\n");
+    s.push_str(&format!("  \"mode\": \"{}\",\n", r.mode));
+    s.push_str(&format!(
+        "  \"dataset\": {{\"n\": {}, \"batch\": {}, \"tile\": {}, \"clusters\": {}, \"k\": {}}},\n",
+        r.n, r.batch, TILE, r.clusters, K
+    ));
+    s.push_str(&format!(
+        "  \"hot\": {{\"hot_on_ns\": {:.1}, \"hot_off_ns\": {:.1}, \"speedup\": {:.4}, \
+         \"hit_share\": {:.4}, \"promoted_tiles\": {}, \"cells\": {}}},\n",
+        r.hot_on_ns,
+        r.hot_off_ns,
+        r.speedup(),
+        r.hit_share,
+        r.promoted_tiles,
+        r.cells
+    ));
+    s.push_str(&format!(
+        "  \"cold\": {{\"uniform_hot_on_ns\": {:.1}, \"uniform_hot_off_ns\": {:.1}, \
+         \"cold_overhead\": {:.4}, ",
+        r.uniform_on_ns,
+        r.uniform_off_ns,
+        r.cold_overhead()
+    ));
+    match (r.pr7_obs_off_ns, r.vs_pr7()) {
+        (Some(b), Some(ratio)) => s.push_str(&format!(
+            "\"pr7_obs_off_ns\": {b:.1}, \"vs_pr7\": {ratio:.4}}},\n"
+        )),
+        _ => s.push_str("\"pr7_obs_off_ns\": null, \"vs_pr7\": null},\n"),
+    }
+    s.push_str(&format!(
+        "  \"gate\": {{\"speedup_min\": {SPEEDUP_MIN}, \"cold_overhead_max\": {COLD_OVERHEAD_MAX}, \
+         \"vs_pr7_max\": {VS_PR7_MAX}, \"enforced\": {}}},\n",
+        r.mode == "full"
+    ));
+    s.push_str(&format!(
+        "  \"equivalence\": {{\"hot_vs_online\": \"result-set-identical\", \"hot_hits\": {}}}\n",
+        r.hot_hits
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// `--check`: the report must be valid JSON with the hot and cold
+/// blocks, the gate thresholds, and the equivalence stamp.
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let v = jsonv::parse(&text)?;
+    if v.get("bench").and_then(Json::as_str) != Some("pr9-hot-voronoi") {
+        return Err("not a pr9-hot-voronoi report".into());
+    }
+    let hot = v.get("hot").ok_or("missing hot block")?;
+    for field in ["hot_on_ns", "hot_off_ns", "speedup", "hit_share"] {
+        if hot.get(field).and_then(Json::as_f64).is_none() {
+            return Err(format!("hot block missing numeric field {field:?}"));
+        }
+    }
+    let cold = v.get("cold").ok_or("missing cold block")?;
+    for field in ["uniform_hot_on_ns", "uniform_hot_off_ns", "cold_overhead"] {
+        if cold.get(field).and_then(Json::as_f64).is_none() {
+            return Err(format!("cold block missing numeric field {field:?}"));
+        }
+    }
+    if v.get("gate")
+        .and_then(|g| g.get("speedup_min"))
+        .and_then(Json::as_f64)
+        .is_none()
+    {
+        return Err("missing gate.speedup_min".into());
+    }
+    match v
+        .get("equivalence")
+        .and_then(|e| e.get("hot_vs_online"))
+        .and_then(Json::as_str)
+    {
+        Some("result-set-identical") => {}
+        other => return Err(format!("bad equivalence stamp {other:?}")),
+    }
+    println!("pr9_bench --check {path}: ok (hot + cold blocks, gates, equivalence stamp)");
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--check") {
+        let path = args
+            .get(pos + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_PR9.json");
+        if let Err(e) = check(path) {
+            eprintln!("pr9_bench --check failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let report = run(quick);
+
+    let per_query = |ns: f64| ns / report.batch as f64;
+    println!(
+        "hotspot batch      hot-on {:>10.0} ns/op ({:>7.0} ns/q)   hot-off {:>10.0} ns/op \
+         ({:>7.0} ns/q)   speedup {:.2}x",
+        report.hot_on_ns,
+        per_query(report.hot_on_ns),
+        report.hot_off_ns,
+        per_query(report.hot_off_ns),
+        report.speedup()
+    );
+    println!(
+        "uniform batch      hot-on {:>10.0} ns/op   hot-off {:>10.0} ns/op   overhead {:.4}",
+        report.uniform_on_ns,
+        report.uniform_off_ns,
+        report.cold_overhead()
+    );
+    match (report.pr7_obs_off_ns, report.vs_pr7()) {
+        (Some(b), Some(ratio)) => {
+            println!(
+                "vs_pr7: hotspot hot-off {:.0} / pr7 obs-off {b:.0} = {ratio:.4}",
+                report.hot_off_ns
+            );
+            if !quick {
+                assert!(
+                    ratio <= VS_PR7_MAX,
+                    "cold serve path regressed {ratio:.4}x vs PR 7 baseline \
+                     (max {VS_PR7_MAX}); regenerate BENCH_PR7.json on this machine first"
+                );
+            }
+        }
+        _ if !quick => {
+            eprintln!(
+                "pr9_bench: BENCH_PR7.json not found in CWD — run pr7_bench first \
+                 so the 3% cold-regression gate has a same-machine baseline"
+            );
+            std::process::exit(1);
+        }
+        _ => println!("vs_pr7: skipped (no BENCH_PR7.json; quick mode)"),
+    }
+    if !quick {
+        assert!(
+            report.speedup() >= SPEEDUP_MIN,
+            "hot-tile fast path delivered only {:.2}x (gate {SPEEDUP_MIN}x)",
+            report.speedup()
+        );
+        assert!(
+            report.cold_overhead() <= COLD_OVERHEAD_MAX,
+            "hot tier slows uniform cold traffic {:.4}x (max {COLD_OVERHEAD_MAX})",
+            report.cold_overhead()
+        );
+    }
+
+    let out = if quick {
+        std::path::PathBuf::from("target/BENCH_PR9.quick.json")
+    } else {
+        std::path::PathBuf::from("BENCH_PR9.json")
+    };
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    let rendered = render_json(&report);
+    jsonv::validate(&rendered).expect("harness emits valid JSON");
+    std::fs::write(&out, rendered).expect("writing bench report");
+    println!("wrote {}", out.display());
+}

@@ -110,6 +110,7 @@ fn main() {
                 EngineConfig {
                     workers: threads,
                     cache: CacheConfig::disabled(),
+                    hot: lbq_serve::HotConfig::disabled(),
                     ..EngineConfig::default()
                 },
             );

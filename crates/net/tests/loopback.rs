@@ -38,8 +38,8 @@ fn make_server(n: usize, seed: u64) -> Arc<LbqServer> {
 
 /// Engine with the validity cache disabled: every response is a fresh
 /// miss, so its answer is the pure function of the request that the
-/// byte-identical assertions need (a cache hit would anchor the answer
-/// at the *original* query's focus).
+/// byte-identical assertions need (a cache or hot-tier hit would
+/// anchor the answer at the *original* query's focus).
 fn make_engine(server: &Arc<LbqServer>, workers: usize) -> Arc<Engine> {
     Arc::new(Engine::new(
         Arc::clone(server),
@@ -47,6 +47,7 @@ fn make_engine(server: &Arc<LbqServer>, workers: usize) -> Arc<Engine> {
             workers,
             cache: CacheConfig::disabled(),
             tile_size: 8,
+            hot: lbq_serve::HotConfig::disabled(),
         },
     ))
 }
@@ -76,6 +77,7 @@ fn expected_bytes(server: &LbqServer, req: &QueryReq, request_id: u64, query_id:
     let resp = QueryResp {
         answer: Arc::new(answer_on(server, req)),
         from_cache: false,
+        tier: lbq_serve::CacheTier::Tree,
         worker: usize::MAX,   // not on the wire
         latency_ns: u64::MAX, // not on the wire
         query_id,

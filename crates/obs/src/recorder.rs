@@ -61,6 +61,9 @@ pub enum CacheTier {
     Cache = 1,
     /// Full traversal amortized across a tile group.
     TreeGroup = 2,
+    /// Hot-tile Voronoi fast path: point location into a lazily
+    /// materialized order-k cell (`lbq-serve`'s hybrid index).
+    HotVoronoi = 3,
 }
 
 impl CacheTier {
@@ -70,6 +73,7 @@ impl CacheTier {
             CacheTier::Tree => "tree",
             CacheTier::Cache => "cache",
             CacheTier::TreeGroup => "tree-group",
+            CacheTier::HotVoronoi => "hot-voronoi",
         }
     }
 
@@ -77,6 +81,7 @@ impl CacheTier {
         match v {
             1 => CacheTier::Cache,
             2 => CacheTier::TreeGroup,
+            3 => CacheTier::HotVoronoi,
             _ => CacheTier::Tree,
         }
     }

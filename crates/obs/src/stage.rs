@@ -29,7 +29,7 @@ use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Number of attributed pipeline stages.
-pub const STAGE_COUNT: usize = 6;
+pub const STAGE_COUNT: usize = 7;
 
 /// A timed stage of the serve pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +46,8 @@ pub enum Stage {
     Clip = 4,
     /// Window query + validity-region construction (`lbq-core`).
     WindowPass = 5,
+    /// Hot-tile point location + memoized-cell probe (`lbq-serve`).
+    HotLookup = 6,
 }
 
 /// Kebab-case display names, indexed by `Stage as usize`.
@@ -56,6 +58,7 @@ pub const STAGE_NAMES: [&str; STAGE_COUNT] = [
     "tpnn-chain",
     "clip",
     "window-pass",
+    "hot-lookup",
 ];
 
 impl Stage {
@@ -73,6 +76,7 @@ impl Stage {
             Stage::TpnnChain,
             Stage::Clip,
             Stage::WindowPass,
+            Stage::HotLookup,
         ]
     }
 }
@@ -222,6 +226,7 @@ pub fn stage_histograms() -> &'static [Histogram; STAGE_COUNT] {
             histogram("stage-tpnn-chain"),
             histogram("stage-clip"),
             histogram("stage-window-pass"),
+            histogram("stage-hot-lookup"),
         ]
     })
 }

@@ -112,7 +112,7 @@ pub fn encode_query_response(
                 p,
                 request_id,
                 resp.query_id,
-                resp.from_cache,
+                resp.tier,
                 &resp.stages,
                 nn,
             );
@@ -122,7 +122,7 @@ pub fn encode_query_response(
                 p,
                 request_id,
                 resp.query_id,
-                resp.from_cache,
+                resp.tier,
                 &resp.stages,
                 w,
             );

@@ -11,7 +11,7 @@ use crate::wire::{
 use crate::{ErrorCode, WireError, HEADER_LEN, MAGIC, VERSION};
 use lbq_core::{InfluencePair, NnResponse, NnValidity, WindowResponse, WindowValidity};
 use lbq_geom::{ConvexPolygon, Point};
-use lbq_obs::{StageNanos, STAGE_COUNT};
+use lbq_obs::{CacheTier, StageNanos, STAGE_COUNT};
 
 /// Frame-type discriminants (header byte 5). Requests flow client →
 /// server, responses server → client; a peer receiving a recognized
@@ -80,8 +80,14 @@ pub struct KnnResponseFrame {
     /// Engine-assigned query id (`lbq_serve::QueryResp::query_id`).
     pub query_id: u64,
     /// `true` when the answer came from the server's validity-region
-    /// cache (flags bit 0).
+    /// cache (flags bit 0). Always equal to `tier == CacheTier::Cache`.
     pub from_cache: bool,
+    /// Which serving tier produced the answer (flags bits 0–1). The
+    /// wire deliberately collapses [`CacheTier::TreeGroup`] into
+    /// [`CacheTier::Tree`]: group membership is scheduling-dependent,
+    /// and response bytes must stay a pure function of the request.
+    /// Decoded values are therefore `Tree`, `Cache`, or `HotVoronoi`.
+    pub tier: CacheTier,
     /// Per-stage latency attribution; all-zero unless the server is
     /// recording ([`lbq_obs::init_recorder`]).
     pub stages: StageNanos,
@@ -99,8 +105,11 @@ pub struct WindowResponseFrame {
     /// Engine-assigned query id (`lbq_serve::QueryResp::query_id`).
     pub query_id: u64,
     /// `true` when the answer came from the server's validity-region
-    /// cache (flags bit 0).
+    /// cache (flags bit 0). Always equal to `tier == CacheTier::Cache`.
     pub from_cache: bool,
+    /// Which serving tier produced the answer (flags bits 0–1; see
+    /// [`KnnResponseFrame::tier`] for the `TreeGroup` collapse).
+    pub tier: CacheTier,
     /// Per-stage latency attribution; all-zero unless recording is on.
     pub stages: StageNanos,
     /// The answer itself, exactly as produced in-process.
@@ -302,24 +311,10 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) -> Result<(), WireError> {
             put_f64(p, f.hy);
         }),
         Frame::KnnResponse(f) => encode_with(out, FrameType::KnnResponse, |p| {
-            put_knn_response(
-                p,
-                f.request_id,
-                f.query_id,
-                f.from_cache,
-                &f.stages,
-                &f.body,
-            );
+            put_knn_response(p, f.request_id, f.query_id, f.tier, &f.stages, &f.body);
         }),
         Frame::WindowResponse(f) => encode_with(out, FrameType::WindowResponse, |p| {
-            put_window_response(
-                p,
-                f.request_id,
-                f.query_id,
-                f.from_cache,
-                &f.stages,
-                &f.body,
-            );
+            put_window_response(p, f.request_id, f.query_id, f.tier, &f.stages, &f.body);
         }),
         Frame::Error(f) => encode_with(out, FrameType::Error, |p| {
             put_u64(p, f.request_id);
@@ -377,19 +372,41 @@ fn decode_window_request(r: &mut Reader<'_>) -> Result<WindowRequest, WireError>
 
 /// Flags bit 0: the answer came from the validity-region cache.
 const FLAG_FROM_CACHE: u8 = 0x01;
+/// Flags bit 1: the answer came from the hot-tile Voronoi fast path.
+const FLAG_HOT_VORONOI: u8 = 0x02;
+
+/// The flags byte a serving tier encodes as. `Tree` and `TreeGroup`
+/// both map to `0x00`: whether a kNN miss was answered solo or in a
+/// shared-frontier group is scheduling-dependent, and the response
+/// bytes must stay a pure function of the request (the byte-identical
+/// contract, see `docs/PROTOCOL.md`).
+fn tier_flags(tier: CacheTier) -> u8 {
+    match tier {
+        CacheTier::Cache => FLAG_FROM_CACHE,
+        CacheTier::HotVoronoi => FLAG_HOT_VORONOI,
+        CacheTier::Tree | CacheTier::TreeGroup => 0,
+    }
+}
 
 /// Decodes the shared response preamble: correlation ids, flags, and
 /// the stage-attribution block.
-fn decode_preamble(r: &mut Reader<'_>) -> Result<(u64, u64, bool, StageNanos), WireError> {
+fn decode_preamble(r: &mut Reader<'_>) -> Result<(u64, u64, CacheTier, StageNanos), WireError> {
     let request_id = r.u64("request_id")?;
     let query_id = r.u64("query_id")?;
     let flags = r.u8("flags")?;
-    if flags & !FLAG_FROM_CACHE != 0 {
-        return Err(WireError::new(
-            ErrorCode::Malformed,
-            format!("unknown response flag bits 0x{flags:02x} (v1 defines only bit 0)"),
-        ));
-    }
+    let tier = match flags {
+        0 => CacheTier::Tree,
+        FLAG_FROM_CACHE => CacheTier::Cache,
+        FLAG_HOT_VORONOI => CacheTier::HotVoronoi,
+        _ => {
+            return Err(WireError::new(
+                ErrorCode::Malformed,
+                format!(
+                    "invalid response flags 0x{flags:02x} (v1 defines bits 0-1,                      mutually exclusive)"
+                ),
+            ))
+        }
+    };
     let stage_count = r.u8("stage_count")?;
     if stage_count as usize != STAGE_COUNT {
         return Err(WireError::new(
@@ -401,19 +418,19 @@ fn decode_preamble(r: &mut Reader<'_>) -> Result<(u64, u64, bool, StageNanos), W
     for slot in stages.0.iter_mut() {
         *slot = r.u64("stage nanoseconds")?;
     }
-    Ok((request_id, query_id, flags & FLAG_FROM_CACHE != 0, stages))
+    Ok((request_id, query_id, tier, stages))
 }
 
 fn put_preamble(
     out: &mut Vec<u8>,
     request_id: u64,
     query_id: u64,
-    from_cache: bool,
+    tier: CacheTier,
     stages: &StageNanos,
 ) {
     put_u64(out, request_id);
     put_u64(out, query_id);
-    out.push(if from_cache { FLAG_FROM_CACHE } else { 0 });
+    out.push(tier_flags(tier));
     out.push(STAGE_COUNT as u8);
     for &ns in stages.0.iter() {
         put_u64(out, ns);
@@ -421,7 +438,7 @@ fn put_preamble(
 }
 
 fn decode_knn_response(r: &mut Reader<'_>) -> Result<KnnResponseFrame, WireError> {
-    let (request_id, query_id, from_cache, stages) = decode_preamble(r)?;
+    let (request_id, query_id, tier, stages) = decode_preamble(r)?;
     let query = r.point("query")?;
     let tpnn_queries = r.u32("tpnn_queries")? as usize;
     let n = r.count(ITEM_LEN, "result")?;
@@ -452,7 +469,8 @@ fn decode_knn_response(r: &mut Reader<'_>) -> Result<KnnResponseFrame, WireError
     Ok(KnnResponseFrame {
         request_id,
         query_id,
-        from_cache,
+        from_cache: tier == CacheTier::Cache,
+        tier,
         stages,
         body: NnResponse {
             query,
@@ -474,11 +492,11 @@ pub(crate) fn put_knn_response(
     out: &mut Vec<u8>,
     request_id: u64,
     query_id: u64,
-    from_cache: bool,
+    tier: CacheTier,
     stages: &StageNanos,
     body: &NnResponse,
 ) {
-    put_preamble(out, request_id, query_id, from_cache, stages);
+    put_preamble(out, request_id, query_id, tier, stages);
     put_point(out, body.query);
     put_u32(out, u32::try_from(body.tpnn_queries).unwrap_or(u32::MAX));
     put_u32(out, body.result.len() as u32);
@@ -499,7 +517,7 @@ pub(crate) fn put_knn_response(
 }
 
 fn decode_window_response(r: &mut Reader<'_>) -> Result<WindowResponseFrame, WireError> {
-    let (request_id, query_id, from_cache, stages) = decode_preamble(r)?;
+    let (request_id, query_id, tier, stages) = decode_preamble(r)?;
     let query = r.point("query")?;
     let window = r.rect("window")?;
     let n = r.count(ITEM_LEN, "result")?;
@@ -524,7 +542,8 @@ fn decode_window_response(r: &mut Reader<'_>) -> Result<WindowResponseFrame, Wir
     Ok(WindowResponseFrame {
         request_id,
         query_id,
-        from_cache,
+        from_cache: tier == CacheTier::Cache,
+        tier,
         stages,
         body: WindowResponse {
             query,
@@ -547,11 +566,11 @@ pub(crate) fn put_window_response(
     out: &mut Vec<u8>,
     request_id: u64,
     query_id: u64,
-    from_cache: bool,
+    tier: CacheTier,
     stages: &StageNanos,
     body: &WindowResponse,
 ) {
-    put_preamble(out, request_id, query_id, from_cache, stages);
+    put_preamble(out, request_id, query_id, tier, stages);
     put_point(out, body.query);
     put_rect(out, &body.window);
     put_u32(out, body.result.len() as u32);

@@ -26,7 +26,8 @@
 //!
 //! Requests ([`KnnRequest`], [`WindowRequest`]) are fixed-size and
 //! carry a client-chosen `request_id`; responses echo it together with
-//! the engine's `query_id`, a from-cache flag, the per-stage latency
+//! the engine's `query_id`, the serving-tier flags (tree / region
+//! cache / hot-tile Voronoi, [`CacheTier`]), the per-stage latency
 //! attribution ([`lbq_obs::StageNanos`]), and the full answer —
 //! result items, validity-region vertices, and the influence set.
 //! Errors carry a stable numeric [`ErrorCode`].
@@ -59,6 +60,7 @@ pub use frames::{
     decode_frame, encode_frame, Decoded, ErrorFrame, Frame, FrameType, KnnRequest,
     KnnResponseFrame, WindowRequest, WindowResponseFrame,
 };
+pub use lbq_obs::CacheTier;
 
 /// The 4-byte frame magic: ASCII `LBQ1` (`4c 42 51 31`).
 pub const MAGIC: [u8; 4] = *b"LBQ1";

@@ -146,13 +146,13 @@ fn adversarial_count_cannot_force_allocation() {
     buf.push(VERSION);
     buf.push(0x20); // KnnResponse
     buf.extend_from_slice(&[0, 0]);
-    let payload_len: usize = 8 + 8 + 1 + 1 + 48 + 16 + 4 + 100;
+    let payload_len: usize = 8 + 8 + 1 + 1 + 56 + 16 + 4 + 100;
     buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
     buf.extend_from_slice(&7u64.to_le_bytes()); // request_id
     buf.extend_from_slice(&1u64.to_le_bytes()); // query_id
     buf.push(0); // flags
-    buf.push(6); // stage_count
-    buf.extend_from_slice(&[0u8; 48]); // stages
+    buf.push(7); // stage_count
+    buf.extend_from_slice(&[0u8; 56]); // stages
     buf.extend_from_slice(&[0u8; 16]); // query point
     buf.extend_from_slice(&0u32.to_le_bytes()); // tpnn_queries
     buf.extend_from_slice(&500_000_000u32.to_le_bytes()); // result count
@@ -178,6 +178,7 @@ fn non_convex_polygon_is_malformed() {
         request_id: 1,
         query_id: 2,
         from_cache: false,
+        tier: lbq_proto::CacheTier::Tree,
         stages: Default::default(),
         body: NnResponse {
             query: Point::new(1.0, 1.0),
@@ -192,10 +193,10 @@ fn non_convex_polygon_is_malformed() {
     }));
     let mut bytes = Vec::new();
     encode_frame(&frame, &mut bytes).expect("encode");
-    // The vertex list starts after preamble(66) + query(16) + tpnn(4) +
+    // The vertex list starts after preamble(74) + query(16) + tpnn(4) +
     // result count(4) + universe(32) + vertex count(4). Swap vertices 1
     // and 3 (16 bytes each) to reverse the winding.
-    let vstart = HEADER_LEN + 66 + 16 + 4 + 4 + 32 + 4;
+    let vstart = HEADER_LEN + 74 + 16 + 4 + 4 + 32 + 4;
     let (a, b) = (vstart + 16, vstart + 48);
     for i in 0..16 {
         bytes.swap(a + i, b + i);
@@ -217,8 +218,11 @@ fn bad_flags_and_stage_count_are_malformed() {
     let mut bad_flags = bytes.clone();
     bad_flags[HEADER_LEN + 16] = 0x82; // flags byte: set an undefined bit
     assert_eq!(err_code(&bad_flags), ErrorCode::Malformed);
+    let mut both_tiers = bytes.clone();
+    both_tiers[HEADER_LEN + 16] = 0x03; // cache AND hot-voronoi: exclusive
+    assert_eq!(err_code(&both_tiers), ErrorCode::Malformed);
     let mut bad_stages = bytes;
-    bad_stages[HEADER_LEN + 17] = 7; // stage_count byte
+    bad_stages[HEADER_LEN + 17] = 6; // stage_count byte (v1 fixes it at 7)
     assert_eq!(err_code(&bad_stages), ErrorCode::Malformed);
 }
 
@@ -230,6 +234,7 @@ fn valid_error_like_knn_response() -> Frame {
         request_id: 1,
         query_id: 2,
         from_cache: true,
+        tier: lbq_proto::CacheTier::Cache,
         stages: Default::default(),
         body: NnResponse {
             query: Point::new(1.0, 1.0),

@@ -13,7 +13,7 @@
 
 use lbq_core::{InfluencePair, NnResponse, NnValidity, WindowResponse, WindowValidity};
 use lbq_geom::{ConvexPolygon, Point, Rect};
-use lbq_obs::StageNanos;
+use lbq_obs::{CacheTier, StageNanos};
 use lbq_proto::{
     encode_frame, ErrorCode, ErrorFrame, Frame, KnnRequest, KnnResponseFrame, WindowRequest,
     WindowResponseFrame,
@@ -53,7 +53,8 @@ fn canonical_frames() -> Vec<(&'static str, Frame)> {
                 request_id: 7,
                 query_id: 1,
                 from_cache: false,
-                stages: StageNanos([1, 2, 3, 4, 5, 6]),
+                tier: CacheTier::HotVoronoi,
+                stages: StageNanos([1, 2, 3, 4, 5, 6, 7]),
                 body: NnResponse {
                     query: Point::new(2.5, -3.25),
                     result: vec![item(11, 1.0, 2.0), item(12, 3.0, 4.0)],
@@ -79,6 +80,7 @@ fn canonical_frames() -> Vec<(&'static str, Frame)> {
                 request_id: 8,
                 query_id: 2,
                 from_cache: true,
+                tier: CacheTier::Cache,
                 stages: StageNanos::default(),
                 body: WindowResponse {
                     query: Point::new(1.5, 2.5),

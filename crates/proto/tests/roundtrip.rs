@@ -112,16 +112,29 @@ fn window_request_roundtrip() {
     }
 }
 
+/// A random *decodable* tier: the wire never carries `TreeGroup`
+/// (encoders collapse it to `Tree`), so roundtripping draws from the
+/// three on-wire values.
+fn rand_tier(rng: &mut Xoshiro256ss) -> lbq_proto::CacheTier {
+    match rng.gen_index(3) {
+        0 => lbq_proto::CacheTier::Tree,
+        1 => lbq_proto::CacheTier::Cache,
+        _ => lbq_proto::CacheTier::HotVoronoi,
+    }
+}
+
 #[test]
 fn knn_response_roundtrip() {
     let mut rng = Xoshiro256ss::seed_from_u64(0x5eed_0003);
     for round in 0..200 {
         let k = rng.gen_index(12);
         let npairs = rng.gen_index(10);
+        let tier = rand_tier(&mut rng);
         let f = Frame::KnnResponse(Box::new(KnnResponseFrame {
             request_id: rng.next_u64(),
             query_id: rng.next_u64(),
-            from_cache: rng.gen_bool(0.3),
+            from_cache: tier == lbq_proto::CacheTier::Cache,
+            tier,
             stages: rand_stages(&mut rng),
             body: NnResponse {
                 query: rand_point(&mut rng),
@@ -156,6 +169,7 @@ fn knn_response_roundtrip() {
             assert_eq!(d.request_id, orig.request_id);
             assert_eq!(d.query_id, orig.query_id);
             assert_eq!(d.from_cache, orig.from_cache);
+            assert_eq!(d.tier, orig.tier);
             assert_eq!(d.stages.0, orig.stages.0);
             assert_eq!(d.body.result.len(), orig.body.result.len());
             assert_eq!(d.body.tpnn_queries, orig.body.tpnn_queries);
@@ -176,10 +190,12 @@ fn window_response_roundtrip() {
         let nres = rng.gen_index(20);
         let ninner = rng.gen_index(5);
         let nouter = rng.gen_index(5);
+        let tier = rand_tier(&mut rng);
         let f = Frame::WindowResponse(Box::new(WindowResponseFrame {
             request_id: rng.next_u64(),
             query_id: rng.next_u64(),
-            from_cache: rng.gen_bool(0.3),
+            from_cache: tier == lbq_proto::CacheTier::Cache,
+            tier,
             stages: rand_stages(&mut rng),
             body: WindowResponse {
                 query: rand_point(&mut rng),

@@ -96,6 +96,40 @@ pub fn hilbert_key(p: Point, universe: &Rect) -> u64 {
     xy2d(KEY_ORDER, x, y)
 }
 
+/// The universe footprint of a Hilbert *tile*: the set of points whose
+/// [`hilbert_key`] has `tile` as its top `tile_bits` bits.
+///
+/// The iterative mapping transforms the high bits of a cell coordinate
+/// independently of the low bits (the quadrant flips complement and
+/// swap whole bit prefixes), so the top `tile_bits` bits of a
+/// [`KEY_ORDER`] key equal `xy2d(tile_bits / 2, x >> s, y >> s)` with
+/// `s = KEY_ORDER - tile_bits / 2` — one aligned square block of the
+/// coarse grid. `tile_bits` must be even and at most `2 * KEY_ORDER`.
+///
+/// Because [`hilbert_key`] quantizes by *rounding* onto the
+/// `2^KEY_ORDER - 1` scale, a grid cell `g` covers the continuous
+/// interval `[(g - ½) / side, (g + ½) / side]`; the returned rect is
+/// that exact preimage, clamped to the universe. This is the footprint
+/// the hot-tile index fetches sites from (`lbq-serve`), and the shape
+/// `lbq-obs` heatmap slots aggregate over.
+pub fn tile_rect(universe: &Rect, tile: u32, tile_bits: u32) -> Rect {
+    debug_assert!(tile_bits >= 2 && tile_bits <= 2 * KEY_ORDER && tile_bits % 2 == 0);
+    let order = tile_bits / 2;
+    debug_assert!(u64::from(tile) < (1u64 << tile_bits));
+    let (cx, cy) = d2xy(order, u64::from(tile));
+    let span = 1u32 << (KEY_ORDER - order);
+    let side = f64::from((1u32 << KEY_ORDER) - 1);
+    let lo = |c: u32| (f64::from(c * span) - 0.5).max(0.0) / side;
+    let hi = |c: u32| ((f64::from((c + 1) * span - 1) + 0.5) / side).min(1.0);
+    let (w, h) = (universe.width(), universe.height());
+    Rect::new(
+        universe.xmin + lo(cx) * w,
+        universe.ymin + lo(cy) * h,
+        universe.xmin + hi(cx) * w,
+        universe.ymin + hi(cy) * h,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,5 +272,51 @@ mod tests {
             vec![1, 3, 4, 6],
             "stable sort must not reorder duplicates"
         );
+    }
+
+    #[test]
+    fn tile_rect_is_the_key_prefix_preimage() {
+        // Both directions, for every order-6 tile (the heatmap / hot
+        // tier granularity): points sampled strictly inside the rect
+        // key back to the tile, and random points land inside the rect
+        // of their own key's tile.
+        let universe = Rect::new(-3.0, 1.0, 5.0, 7.0);
+        const TILE_BITS: u32 = 12;
+        let shift = 2 * KEY_ORDER - TILE_BITS;
+        for tile in 0..(1u32 << TILE_BITS) {
+            let r = tile_rect(&universe, tile, TILE_BITS);
+            for (fx, fy) in [(0.3, 0.3), (0.3, 0.7), (0.7, 0.3), (0.7, 0.7), (0.5, 0.5)] {
+                let p = Point::new(r.xmin + fx * r.width(), r.ymin + fy * r.height());
+                let key = hilbert_key(p, &universe);
+                // lbq-check: allow(lossy-cast) -- top 12 bits fit in u32
+                assert_eq!((key >> shift) as u32, tile, "tile {tile} probe ({fx},{fy})");
+            }
+        }
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..20_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let tx = (state >> 11) as f64 / (1u64 << 53) as f64;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let ty = (state >> 11) as f64 / (1u64 << 53) as f64;
+            let p = Point::new(
+                universe.xmin + tx * universe.width(),
+                universe.ymin + ty * universe.height(),
+            );
+            let key = hilbert_key(p, &universe);
+            // lbq-check: allow(lossy-cast) -- top 12 bits fit in u32
+            let tile = (key >> shift) as u32;
+            let r = tile_rect(&universe, tile, TILE_BITS);
+            assert!(
+                p.x >= r.xmin - 1e-12
+                    && p.x <= r.xmax + 1e-12
+                    && p.y >= r.ymin - 1e-12
+                    && p.y <= r.ymax + 1e-12,
+                "point {p:?} escaped tile_rect({tile}) = {r:?}"
+            );
+        }
     }
 }

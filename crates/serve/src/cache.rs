@@ -211,6 +211,7 @@ impl RegionCache {
         let found = shard
             .entries
             .iter_mut()
+            // lbq-check: allow(guard-across-call) — valid_at is pure geometry (no locks, no tree access); the guard must span the probe so the LRU stamp updates atomically with the match
             .find(|e| e.key == key && e.answer.valid_at(focus));
         match found {
             Some(e) => {

@@ -21,6 +21,7 @@
 //! request order, exactly as with per-query dispatch.
 
 use crate::cache::{CacheConfig, RegionCache};
+use crate::hot::{HotConfig, HotIndex, HotScratch, HotStats, HotTile};
 use crate::pool::{Job, Pool};
 use crate::{answer_on_with, QueryAnswer, QueryReq, QueryResp};
 use lbq_core::LbqServer;
@@ -33,7 +34,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// Sizing of an [`Engine`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
     /// Worker threads (clamped to ≥ 1).
     pub workers: usize,
@@ -47,6 +48,9 @@ pub struct EngineConfig {
     /// shared-frontier traversal. `1` disables tiling: one query per
     /// job, in submission order.
     pub tile_size: usize,
+    /// Hot-tile Voronoi fast-path policy ([`HotConfig::disabled`]
+    /// turns the tier off; see `crate::hot`).
+    pub hot: HotConfig,
 }
 
 impl Default for EngineConfig {
@@ -55,6 +59,7 @@ impl Default for EngineConfig {
             workers: std::thread::available_parallelism().map_or(2, |n| n.get()),
             cache: CacheConfig::default(),
             tile_size: 32,
+            hot: HotConfig::default(),
         }
     }
 }
@@ -119,6 +124,9 @@ pub struct Engine {
     /// Per-Hilbert-tile hit/latency counters (`serve-tile-heat`),
     /// fed on the recording path only.
     heat: lbq_obs::Heatmap,
+    /// The hot-tile Voronoi index; `None` when the tier is disabled,
+    /// so the disabled serve path carries zero hot-tier work.
+    hot: Option<Arc<HotIndex>>,
 }
 
 // Compile-time proof that the engine can be shared across submitting
@@ -139,6 +147,10 @@ impl Engine {
                 .collect::<Vec<_>>(),
         );
         let cache = Arc::new(RegionCache::new(server.universe(), config.cache));
+        let hot = config
+            .hot
+            .is_enabled()
+            .then(|| Arc::new(HotIndex::new(config.hot, server.universe())));
         // Static engine geometry, stamped onto exporter snapshots.
         lbq_obs::snapshot_field("serve-config-workers", pool.workers());
         lbq_obs::snapshot_field("serve-config-tile-size", config.tile_size.max(1));
@@ -152,6 +164,7 @@ impl Engine {
             tile_occupancy: lbq_obs::histogram("serve-tile-size"),
             next_query_id: AtomicU64::new(0),
             heat: lbq_obs::heatmap("serve-tile-heat"),
+            hot,
         }
     }
 
@@ -168,6 +181,14 @@ impl Engine {
     /// The validity-region cache fronting the tree.
     pub fn cache(&self) -> &RegionCache {
         &self.cache
+    }
+
+    /// Point-in-time statistics of the hot-tile Voronoi tier. All-zero
+    /// when the tier is disabled ([`HotConfig::disabled`]).
+    pub fn hot_stats(&self) -> HotStats {
+        self.hot
+            .as_ref()
+            .map_or_else(HotStats::default, |h| h.stats())
     }
 
     /// Number of worker threads.
@@ -224,10 +245,15 @@ impl Engine {
                     occupancy: self.tile_occupancy.clone(),
                     first_id,
                     heat: self.heat.clone(),
+                    hot: self.hot.as_ref().map(Arc::clone),
                 };
-                Box::new(move |worker: usize, scratch: &mut QueryScratch| {
-                    job.run(worker, scratch);
-                }) as Job
+                Box::new(
+                    move |worker: usize,
+                          scratch: &mut QueryScratch,
+                          hot_scratch: &mut HotScratch| {
+                        job.run(worker, scratch, hot_scratch);
+                    },
+                ) as Job
             })
             .collect();
         self.pool.push_all(jobs);
@@ -332,6 +358,8 @@ struct TileJob {
     first_id: u64,
     /// The engine's hot-tile heatmap, fed on the recording path.
     heat: lbq_obs::Heatmap,
+    /// The engine's hot-tile Voronoi index (`None` = tier disabled).
+    hot: Option<Arc<HotIndex>>,
 }
 
 /// Recording-path context for one response: everything `respond` needs
@@ -350,9 +378,9 @@ struct Attribution {
 }
 
 impl TileJob {
-    fn run(self, worker: usize, scratch: &mut QueryScratch) {
+    fn run(self, worker: usize, scratch: &mut QueryScratch, hot_scratch: &mut HotScratch) {
         self.occupancy.record_value(self.tile.len() as u64);
-        let out = self.serve(worker, scratch);
+        let out = self.serve(worker, scratch, hot_scratch);
         debug_assert_eq!(out.len(), self.tile.len());
         {
             let mut results = self.batch.results.lock().unwrap_or_else(|e| e.into_inner());
@@ -375,7 +403,12 @@ impl TileJob {
 
     /// Answers every query of the tile, returning `(original index,
     /// response)` pairs.
-    fn serve(&self, worker: usize, scratch: &mut QueryScratch) -> Vec<(usize, QueryResp)> {
+    fn serve(
+        &self,
+        worker: usize,
+        scratch: &mut QueryScratch,
+        hot_scratch: &mut HotScratch,
+    ) -> Vec<(usize, QueryResp)> {
         let recording = lbq_obs::recording();
         if recording {
             // Discard stage time stranded on this thread by a
@@ -383,10 +416,11 @@ impl TileJob {
             let _ = lbq_obs::take_stages();
         }
         let mut out: Vec<(usize, QueryResp)> = Vec::with_capacity(self.tile.len());
-        // Cache probes and window misses resolve in place; kNN misses
-        // are deferred so the tile can answer them as a group — each
-        // stashing the stage time of its cache probe for later.
-        let mut knn_miss: Vec<(usize, Point, usize, StageNanos)> = Vec::new();
+        // Hot-tier hits and cache probes resolve in place, as do window
+        // misses; kNN misses are deferred so the tile can answer them as
+        // a group — each stashing the stage time of its probes and the
+        // hot tile (if promoted) it should memoize its fresh answer into.
+        let mut knn_miss: Vec<(usize, Point, usize, StageNanos, Option<Arc<HotTile>>)> = Vec::new();
         for &(idx, req) in &self.tile {
             let start = Instant::now();
             let before = if recording {
@@ -394,6 +428,46 @@ impl TileJob {
             } else {
                 Stats::default()
             };
+            // Hot-tile Voronoi probe, ahead of the region cache: point
+            // location over the tile-local triangulation plus a
+            // memoized-cell lookup. Any failure degrades silently to
+            // the ordinary path below.
+            let mut hot_tile: Option<Arc<HotTile>> = None;
+            if let (Some(hot), QueryReq::Knn { q, k }) = (&self.hot, req) {
+                let _probe = lbq_obs::stage_timer(lbq_obs::Stage::HotLookup);
+                if let Some(tile) = hot.probe(hot.tile_of(q), &self.server) {
+                    match tile.lookup(q, k, hot_scratch) {
+                        Some(answer) => {
+                            hot.record_hit();
+                            record_hot_counters(1, 0);
+                            drop(_probe);
+                            let attr = recording.then(|| Attribution {
+                                req,
+                                tier: CacheTier::HotVoronoi,
+                                stages: lbq_obs::take_stages(),
+                                accesses: self.server.tree().stats().delta_since(before),
+                            });
+                            out.push((
+                                idx,
+                                self.respond(
+                                    answer,
+                                    CacheTier::HotVoronoi,
+                                    worker,
+                                    elapsed_ns(start),
+                                    idx,
+                                    attr,
+                                ),
+                            ));
+                            continue;
+                        }
+                        None => {
+                            hot.record_miss();
+                            record_hot_counters(0, 1);
+                            hot_tile = Some(tile);
+                        }
+                    }
+                }
+            }
             let hit = {
                 let _probe = lbq_obs::stage_timer(lbq_obs::Stage::CacheLookup);
                 self.cache.lookup(&req)
@@ -408,7 +482,7 @@ impl TileJob {
                     });
                     out.push((
                         idx,
-                        self.respond(hit, true, worker, elapsed_ns(start), idx, attr),
+                        self.respond(hit, CacheTier::Cache, worker, elapsed_ns(start), idx, attr),
                     ));
                 }
                 None => match req {
@@ -418,7 +492,7 @@ impl TileJob {
                         } else {
                             StageNanos::default()
                         };
-                        knn_miss.push((idx, q, k, probe));
+                        knn_miss.push((idx, q, k, probe, hot_tile));
                     }
                     QueryReq::Window { .. } => {
                         let fresh = Arc::new(answer_on_with(&self.server, &req, scratch));
@@ -431,7 +505,14 @@ impl TileJob {
                         });
                         out.push((
                             idx,
-                            self.respond(fresh, false, worker, elapsed_ns(start), idx, attr),
+                            self.respond(
+                                fresh,
+                                CacheTier::Tree,
+                                worker,
+                                elapsed_ns(start),
+                                idx,
+                                attr,
+                            ),
                         ));
                     }
                 },
@@ -452,7 +533,7 @@ impl TileJob {
                 handled[j] = true;
             }
             if group.len() == 1 {
-                let (idx, q, _, probe) = knn_miss[i];
+                let (idx, q, _, probe, ref hot_tile) = knn_miss[i];
                 let req = QueryReq::knn(q, k);
                 let start = Instant::now();
                 let before = if recording {
@@ -462,17 +543,20 @@ impl TileJob {
                 };
                 let fresh = Arc::new(answer_on_with(&self.server, &req, scratch));
                 self.cache.insert(&req, Arc::clone(&fresh));
+                if let (Some(hot), Some(tile)) = (&self.hot, hot_tile) {
+                    hot.memoize(tile, k, &fresh);
+                }
                 let attr = recording.then(|| Attribution {
                     req,
                     tier: CacheTier::Tree,
-                    // The stashed cache-probe time plus this query's own
+                    // The stashed probe time plus this query's own
                     // tree traversal.
                     stages: probe.saturating_add(lbq_obs::take_stages()),
                     accesses: self.server.tree().stats().delta_since(before),
                 });
                 out.push((
                     idx,
-                    self.respond(fresh, false, worker, elapsed_ns(start), idx, attr),
+                    self.respond(fresh, CacheTier::Tree, worker, elapsed_ns(start), idx, attr),
                 ));
                 continue;
             }
@@ -523,10 +607,13 @@ impl TileJob {
                 (StageNanos::default(), Stats::default())
             };
             for (&j, resp) in group.iter().zip(resps) {
-                let (idx, q, _, probe) = knn_miss[j];
+                let (idx, q, _, probe, ref hot_tile) = knn_miss[j];
                 let fresh = Arc::new(QueryAnswer::Knn(resp));
                 let req = QueryReq::knn(q, k);
                 self.cache.insert(&req, Arc::clone(&fresh));
+                if let (Some(hot), Some(tile)) = (&self.hot, hot_tile) {
+                    hot.memoize(tile, k, &fresh);
+                }
                 let attr = recording.then(|| Attribution {
                     req,
                     tier: CacheTier::TreeGroup,
@@ -535,7 +622,7 @@ impl TileJob {
                 });
                 out.push((
                     idx,
-                    self.respond(fresh, false, worker, shared_ns, idx, attr),
+                    self.respond(fresh, CacheTier::TreeGroup, worker, shared_ns, idx, attr),
                 ));
             }
         }
@@ -543,18 +630,20 @@ impl TileJob {
     }
 
     /// Builds one response and feeds the per-worker + global accounting
-    /// (jobs are counted per *query*, not per tile). With recording on,
-    /// `attr` carries the stage/tier/access context this query stamps
-    /// into the flight recorder and hot-tile heatmap.
+    /// (jobs are counted per *query*, not per tile). `tier` is the
+    /// answer's provenance, stamped onto the response; with recording
+    /// on, `attr` carries the stage/tier/access context this query
+    /// stamps into the flight recorder and hot-tile heatmap.
     fn respond(
         &self,
         answer: Arc<QueryAnswer>,
-        from_cache: bool,
+        tier: CacheTier,
         worker: usize,
         elapsed: u64,
         idx: usize,
         attr: Option<Attribution>,
     ) -> QueryResp {
+        let from_cache = tier == CacheTier::Cache;
         let ws = &self.stats[worker];
         ws.jobs.fetch_add(1, Ordering::Relaxed);
         ws.cache_hits
@@ -588,6 +677,7 @@ impl TileJob {
         QueryResp {
             answer,
             from_cache,
+            tier,
             worker,
             latency_ns: elapsed,
             query_id,
@@ -613,6 +703,18 @@ fn record_group_knn(count: u64) {
     GROUP
         .get_or_init(|| lbq_obs::counter("serve-group-knn"))
         .add(count);
+}
+
+/// Feeds the hot-tier hit/miss counters (cached handles: metric lookup
+/// once per process, not per probe).
+fn record_hot_counters(hits: u64, misses: u64) {
+    use std::sync::OnceLock;
+    static HIT: OnceLock<lbq_obs::Counter> = OnceLock::new();
+    static MISS: OnceLock<lbq_obs::Counter> = OnceLock::new();
+    HIT.get_or_init(|| lbq_obs::counter("serve-hot-hit"))
+        .add(hits);
+    MISS.get_or_init(|| lbq_obs::counter("serve-hot-miss"))
+        .add(misses);
 }
 
 /// Feeds the global hit/miss counters (cached handles: metric lookup

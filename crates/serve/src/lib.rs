@@ -76,10 +76,13 @@
 
 mod cache;
 mod engine;
+mod hot;
 mod pool;
 
 pub use cache::{CacheConfig, CacheStats, RegionCache};
 pub use engine::{Engine, EngineConfig, WorkerSummary};
+pub use hot::{HotConfig, HotStats};
+pub use lbq_obs::CacheTier;
 
 use lbq_core::{LbqServer, NnResponse, WindowResponse};
 use lbq_geom::Point;
@@ -191,8 +194,13 @@ pub struct QueryResp {
     /// `Arc` bump, not a region copy).
     pub answer: Arc<QueryAnswer>,
     /// `true` when the answer came from the validity-region cache
-    /// without touching the tree.
+    /// without touching the tree. Kept for compatibility — always
+    /// equal to `tier == CacheTier::Cache`.
     pub from_cache: bool,
+    /// Which tier produced the answer: full tree traversal (solo or
+    /// group-amortized), the validity-region cache, or the hot-tile
+    /// Voronoi fast path ([`HotConfig`]).
+    pub tier: CacheTier,
     /// Index of the worker that served the request.
     pub worker: usize,
     /// Wall-clock service time of this request, nanoseconds (cache

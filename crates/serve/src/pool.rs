@@ -13,13 +13,14 @@
 //! The queue depth is mirrored to the global `serve-queue-depth` gauge
 //! on every push/pop, making backlog visible in metrics snapshots.
 
+use crate::hot::HotScratch;
 use lbq_rtree::QueryScratch;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
-pub(crate) type Job = Box<dyn FnOnce(usize, &mut QueryScratch) + Send + 'static>;
+pub(crate) type Job = Box<dyn FnOnce(usize, &mut QueryScratch, &mut HotScratch) + Send + 'static>;
 
 #[derive(Default)]
 struct Queue {
@@ -101,6 +102,7 @@ fn worker_loop(shared: &Shared, worker: usize) {
     // after the first few jobs warm its buffers, steady-state queries
     // run allocation-free.
     let mut scratch = QueryScratch::new();
+    let mut hot_scratch = HotScratch::default();
     loop {
         let job = {
             let mut q = shared.lock();
@@ -117,7 +119,7 @@ fn worker_loop(shared: &Shared, worker: usize) {
             }
         };
         match job {
-            Some(job) => job(worker, &mut scratch),
+            Some(job) => job(worker, &mut scratch, &mut hot_scratch),
             None => return,
         }
     }
@@ -158,12 +160,14 @@ mod tests {
             .map(|i| {
                 let sum = Arc::clone(&sum);
                 let done = Arc::clone(&done);
-                Box::new(move |_w: usize, _s: &mut QueryScratch| {
-                    sum.fetch_add(i, Ordering::Relaxed);
-                    let (m, cv) = &*done;
-                    *m.lock().unwrap() += 1;
-                    cv.notify_all();
-                }) as Job
+                Box::new(
+                    move |_w: usize, _s: &mut QueryScratch, _h: &mut HotScratch| {
+                        sum.fetch_add(i, Ordering::Relaxed);
+                        let (m, cv) = &*done;
+                        *m.lock().unwrap() += 1;
+                        cv.notify_all();
+                    },
+                ) as Job
             })
             .collect();
         pool.push_all(jobs);
@@ -183,9 +187,11 @@ mod tests {
             let jobs: Vec<Job> = (0..50)
                 .map(|_| {
                     let ran = Arc::clone(&ran);
-                    Box::new(move |_w: usize, _s: &mut QueryScratch| {
-                        ran.fetch_add(1, Ordering::Relaxed);
-                    }) as Job
+                    Box::new(
+                        move |_w: usize, _s: &mut QueryScratch, _h: &mut HotScratch| {
+                            ran.fetch_add(1, Ordering::Relaxed);
+                        },
+                    ) as Job
                 })
                 .collect();
             pool.push_all(jobs);

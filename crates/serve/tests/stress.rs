@@ -87,6 +87,7 @@ fn tiled_dispatch_byte_identical_to_untiled() {
             workers: 3,
             cache: CacheConfig::disabled(),
             tile_size: 1,
+            ..EngineConfig::default()
         },
     );
     let baseline: Vec<String> = untiled
@@ -101,6 +102,7 @@ fn tiled_dispatch_byte_identical_to_untiled() {
                 workers: 3,
                 cache: CacheConfig::disabled(),
                 tile_size,
+                ..EngineConfig::default()
             },
         );
         let resps = tiled.submit(reqs.clone());

@@ -26,17 +26,17 @@ struct Tri {
 #[derive(Debug, Clone)]
 pub struct Delaunay {
     /// Sites followed by the 3 super-triangle vertices.
-    points: Vec<Point>,
-    n_sites: usize,
-    universe: Rect,
+    pub(crate) points: Vec<Point>,
+    pub(crate) n_sites: usize,
+    pub(crate) universe: Rect,
     tris: Vec<Tri>,
     free: Vec<usize>,
     hint: usize,
     /// `dup[i]`: index of the representative site if site `i` duplicates
     /// an earlier one (within 1e-12 of universe scale), else `i`.
-    dup: Vec<usize>,
+    pub(crate) dup: Vec<usize>,
     /// Adjacency lists over sites (built once after insertion).
-    adjacency: Vec<Vec<usize>>,
+    pub(crate) adjacency: Vec<Vec<usize>>,
 }
 
 impl Delaunay {
@@ -133,6 +133,28 @@ impl Delaunay {
             poly = poly.clip(&HalfPlane::bisector(site, self.points[nb]));
         }
         poly
+    }
+
+    /// The position of site `i` (duplicates keep their own coordinates,
+    /// which coincide with their representative's within `EPS_TIGHT`).
+    pub fn site(&self, i: usize) -> Point {
+        self.points[i]
+    }
+
+    /// Scratch variant of [`Delaunay::voronoi_cell`]: writes the cell
+    /// into `out`, reusing `buf` as the clip working set — allocation
+    /// free once both have warmed to capacity.
+    // lbq-check: hot — cell construction on the serve hot tier.
+    pub fn voronoi_cell_in(&self, i: usize, out: &mut ConvexPolygon, buf: &mut Vec<Point>) {
+        let rep = self.dup[i];
+        let site = self.points[rep];
+        out.assign_rect(&self.universe);
+        for &nb in &self.adjacency[rep] {
+            if out.is_empty() {
+                break;
+            }
+            out.clip_in_place(&HalfPlane::bisector(site, self.points[nb]), buf);
+        }
     }
 
     /// All alive triangles as site-index triples (super-triangle

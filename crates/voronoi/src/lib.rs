@@ -24,8 +24,10 @@
 //! cell-for-cell against this crate.
 
 mod delaunay;
+mod order_k;
 
 pub use delaunay::Delaunay;
+pub use order_k::OrderKScratch;
 
 use lbq_geom::{ConvexPolygon, Point, Rect};
 

@@ -1,10 +1,20 @@
 //! A fleet of TCP clients against a loopback `lbq-net` server.
 //!
-//! The network sibling of `moving_fleet`: a NA-like dataset is served
-//! over real sockets, a handful of client threads pipeline kNN and
-//! window requests, and every response is checked **byte-for-byte**
-//! against the in-process encoding of the baseline answer — the
-//! serving stack's byte-identical contract, exercised end to end.
+//! The network sibling of `moving_fleet`, in two phases:
+//!
+//! 1. **Byte-identity.** A NA-like dataset is served over real
+//!    sockets with every answer-reuse tier disabled, a handful of
+//!    client threads pipeline kNN and window requests, and every
+//!    response is checked **byte-for-byte** against the in-process
+//!    encoding of the baseline answer — the serving stack's
+//!    byte-identical contract, exercised end to end.
+//! 2. **Hotspot tiers.** The same dataset behind a second engine with
+//!    the region cache and the hot-tile Voronoi fast path enabled,
+//!    under skewed kNN traffic. Each response frame's wire flags name
+//!    the serving tier (tree / cache / hot-voronoi); tree-tier
+//!    responses must still be byte-identical, while cache and hot
+//!    answers are anchored (correct but re-focused), so they are
+//!    checked for result-set equality against the fresh baseline.
 //!
 //! ```text
 //! cargo run --release -p lbq-net --example loopback_fleet
@@ -23,6 +33,7 @@ use std::time::Instant;
 
 const CLIENTS: u64 = 8;
 const REQUESTS_PER_CLIENT: u64 = 250;
+const HOT_REQUESTS_PER_CLIENT: u64 = 400;
 
 fn main() {
     let data = na_like_sized(20_000, 42);
@@ -31,13 +42,15 @@ fn main() {
         RTree::bulk_load(data.items.clone(), RTreeConfig::paper()),
         data.universe,
     ));
-    // Cache disabled: every socket response must equal the pure
-    // baseline encoding (cache hits would anchor answers at the
-    // original query, which is correct but not bit-comparable).
+    // Cache and hot tier disabled: every socket response must equal
+    // the pure baseline encoding (a hit on either tier anchors its
+    // answer at the original query, which is correct but not
+    // bit-comparable).
     let engine = Arc::new(Engine::new(
         Arc::clone(&server),
         EngineConfig {
             cache: CacheConfig::disabled(),
+            hot: lbq_serve::HotConfig::disabled(),
             ..EngineConfig::default()
         },
     ));
@@ -93,6 +106,7 @@ fn main() {
                     let resp = QueryResp {
                         answer: Arc::new(answer_on(&server, req)),
                         from_cache: false,
+                        tier: lbq_serve::CacheTier::Tree,
                         worker: 0,
                         latency_ns: 0,
                         query_id,
@@ -117,5 +131,147 @@ fn main() {
         total as f64 / elapsed.as_secs_f64(),
     );
     net.shutdown();
+
+    hotspot_phase(&server, data.universe);
     lbq_obs::print_metrics("network serving");
+}
+
+/// Phase 2: skewed kNN traffic against the full tiered stack (region
+/// cache + hot-tile Voronoi), verified per wire tier.
+fn hotspot_phase(server: &Arc<LbqServer>, universe: lbq_geom::Rect) {
+    let engine = Arc::new(Engine::new(
+        Arc::clone(server),
+        EngineConfig {
+            // Promote quickly so an example-sized run exercises the
+            // hot tier; everything else is the production default.
+            hot: lbq_serve::HotConfig {
+                promote_after: 32,
+                ..lbq_serve::HotConfig::default()
+            },
+            ..EngineConfig::default()
+        },
+    ));
+    let mut net =
+        NetServer::bind("127.0.0.1:0", Arc::clone(&engine), NetConfig::default()).expect("bind");
+    let addr = net.local_addr();
+    println!("hotspot phase on {addr} — {CLIENTS} clients × {HOT_REQUESTS_PER_CLIENT} kNN requests over 4 hotspots");
+
+    let span = (universe.xmax - universe.xmin, universe.ymax - universe.ymin);
+    let centers: Vec<Point> = (0..4)
+        .map(|h| {
+            let mut rng = Xoshiro256ss::seed_from_u64(0x1107 + h);
+            Point::new(
+                universe.xmin + (0.2 + 0.6 * rng.gen_f64()) * span.0,
+                universe.ymin + (0.2 + 0.6 * rng.gen_f64()) * span.1,
+            )
+        })
+        .collect();
+    let start = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let server = Arc::clone(server);
+            let centers = centers.clone();
+            std::thread::spawn(move || {
+                let mut rng = Xoshiro256ss::seed_from_u64(0xB07 + c);
+                let mut client = NetClient::connect(addr).expect("connect");
+                let span = (universe.xmax - universe.xmin, universe.ymax - universe.ymin);
+                let reqs: Vec<(u64, QueryReq)> = (0..HOT_REQUESTS_PER_CLIENT)
+                    .map(|i| {
+                        let center = centers[rng.gen_index(centers.len())];
+                        let p = Point::new(
+                            center.x + (rng.gen_f64() - 0.5) * span.0 * 0.004,
+                            center.y + (rng.gen_f64() - 0.5) * span.1 * 0.004,
+                        );
+                        ((c << 32) | i, QueryReq::knn(p, 1 + rng.gen_index(3)))
+                    })
+                    .collect();
+                for (id, req) in &reqs {
+                    client.send_query(*id, req).expect("send");
+                }
+                client.shutdown_write().expect("half-close");
+                let mut seen = std::collections::HashMap::new();
+                for _ in 0..reqs.len() {
+                    let (frame, raw) = client.recv_raw().expect("recv");
+                    seen.insert(frame.request_id(), (frame, raw));
+                }
+                // tiers[0] = tree, [1] = cache, [2] = hot-voronoi.
+                let mut tiers = [0u64; 3];
+                for (id, req) in &reqs {
+                    let (frame, raw) = &seen[id];
+                    let Frame::KnnResponse(r) = frame else {
+                        panic!("unexpected frame {frame:?}");
+                    };
+                    let fresh = answer_on(&server, req);
+                    match r.tier {
+                        lbq_proto::CacheTier::Tree => {
+                            // Fresh traversal: the full byte-identical
+                            // contract holds even with the tiers armed.
+                            let resp = QueryResp {
+                                answer: Arc::new(fresh),
+                                from_cache: false,
+                                tier: lbq_serve::CacheTier::Tree,
+                                worker: 0,
+                                latency_ns: 0,
+                                query_id: r.query_id,
+                                stages: Default::default(),
+                            };
+                            let mut expected = Vec::new();
+                            encode_query_response(*id, &resp, &mut expected).expect("encode");
+                            assert_eq!(raw, &expected, "tree-tier byte contract violated");
+                            tiers[0] += 1;
+                        }
+                        tier => {
+                            // Anchored answer: same result set as the
+                            // fresh one (Lemma 3.1), different focus.
+                            let mut got: Vec<u64> = r.body.result.iter().map(|i| i.id).collect();
+                            got.sort_unstable();
+                            assert_eq!(
+                                got,
+                                fresh.result_ids(),
+                                "{} answer diverged from fresh baseline",
+                                tier.name(),
+                            );
+                            tiers[if tier == lbq_proto::CacheTier::Cache {
+                                1
+                            } else {
+                                2
+                            }] += 1;
+                        }
+                    }
+                }
+                tiers
+            })
+        })
+        .collect();
+    let mut tiers = [0u64; 3];
+    for h in handles {
+        let t = h.join().expect("client");
+        for (a, b) in tiers.iter_mut().zip(t) {
+            *a += b;
+        }
+    }
+    let elapsed = start.elapsed();
+    let total = CLIENTS * HOT_REQUESTS_PER_CLIENT;
+    println!(
+        "{total} hotspot requests in {:.2?} ({:.0} q/s), every answer verified per tier\n",
+        elapsed,
+        total as f64 / elapsed.as_secs_f64(),
+    );
+    let mut table =
+        lbq_obs::ProfileTable::new("loopback tiers", &["wire tier", "answered", "share"]);
+    let pct = |n: u64| format!("{:.1}%", n as f64 / total as f64 * 100.0);
+    table.row(&["tree".into(), tiers[0].to_string(), pct(tiers[0])]);
+    table.row(&["cache".into(), tiers[1].to_string(), pct(tiers[1])]);
+    table.row(&["hot-voronoi".into(), tiers[2].to_string(), pct(tiers[2])]);
+    table.print();
+    println!();
+    let hot = engine.hot_stats();
+    println!(
+        "hot tier: {} tiles promoted, {} cells materialized, {}/{} probe hits\n",
+        hot.promotions,
+        hot.cells,
+        hot.hits,
+        hot.hits + hot.misses,
+    );
+    net.shutdown();
 }

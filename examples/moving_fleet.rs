@@ -24,7 +24,7 @@ use lbq_data::na_like_sized;
 use lbq_geom::Point;
 use lbq_obs::ProfileTable;
 use lbq_rtree::{RTree, RTreeConfig};
-use lbq_serve::{Engine, EngineConfig, QueryAnswer, QueryReq};
+use lbq_serve::{CacheTier, Engine, EngineConfig, QueryAnswer, QueryReq};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -93,6 +93,9 @@ fn main() {
 
     let mut client_hits = 0u64; // steps answered on the client
     let mut submitted = 0u64; // requests reaching the engine
+    let mut hot_hits = 0u64; // answered by the hot-tile Voronoi tier
+    let mut cache_hits = 0u64; // answered by the server region cache
+    let mut tree_queries = 0u64; // full traversals (solo or grouped)
     let started = Instant::now();
     let stats_before = server.tree().stats();
     for step in 0..=steps {
@@ -112,6 +115,11 @@ fn main() {
         submitted += batch.len() as u64;
         let resps = engine.submit(batch);
         for (owner, resp) in owners.into_iter().zip(resps) {
+            match resp.tier {
+                CacheTier::HotVoronoi => hot_hits += 1,
+                CacheTier::Cache => cache_hits += 1,
+                CacheTier::Tree | CacheTier::TreeGroup => tree_queries += 1,
+            }
             clients[owner].cached = Some(resp.answer);
         }
     }
@@ -119,19 +127,18 @@ fn main() {
     let tree_cost = server.tree().stats().delta_since(stats_before);
 
     let total_steps = (fleet * (steps + 1)) as u64;
-    let cache = engine.cache().stats();
-    let tree_queries = cache.misses;
-    let mut table = ProfileTable::new("moving fleet", &["stage", "answered", "share"]);
+    let mut table = ProfileTable::new("moving fleet", &["tier", "answered", "share"]);
     let pct = |n: u64| format!("{:.1}%", n as f64 / total_steps as f64 * 100.0);
     table.row(&[
         "client region".into(),
         client_hits.to_string(),
         pct(client_hits),
     ]);
+    table.row(&["hot voronoi".into(), hot_hits.to_string(), pct(hot_hits)]);
     table.row(&[
         "server cache".into(),
-        cache.hits.to_string(),
-        pct(cache.hits),
+        cache_hits.to_string(),
+        pct(cache_hits),
     ]);
     table.row(&["r-tree".into(), tree_queries.to_string(), pct(tree_queries)]);
     table.row(&["total steps".into(), total_steps.to_string(), String::new()]);
@@ -155,12 +162,23 @@ fn main() {
     engine.profile_table().print();
     println!();
     lbq_obs::print_metrics("global counters");
+    let hot = engine.hot_stats();
     println!(
         "\nValidity regions answer {:.1}% of all steps before the tree is touched \
-         (client-side {:.1}%, server cache {:.1}%).",
-        (client_hits + cache.hits) as f64 / total_steps as f64 * 100.0,
+         (client-side {:.1}%, hot voronoi {:.1}%, server cache {:.1}%).",
+        (client_hits + hot_hits + cache_hits) as f64 / total_steps as f64 * 100.0,
         client_hits as f64 / total_steps as f64 * 100.0,
-        cache.hits as f64 / total_steps as f64 * 100.0,
+        hot_hits as f64 / total_steps as f64 * 100.0,
+        cache_hits as f64 / total_steps as f64 * 100.0,
+    );
+    println!(
+        "hot tier: {} tiles promoted ({} demoted), {} cells materialized, \
+         {}/{} probe hits",
+        hot.promotions,
+        hot.demotions,
+        hot.cells,
+        hot.hits,
+        hot.misses + hot.hits,
     );
     if let Some(exporter) = exporter {
         if let Some(rec) = lbq_obs::recorder() {
